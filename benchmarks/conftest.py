@@ -1,0 +1,25 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one table or figure of the paper at full
+evaluation scale, measures how long the regeneration takes (one round —
+these are minutes-scale simulations, not microbenchmarks) and asserts the
+paper's qualitative shape on the result: who wins, in which direction the
+trade-off moves, where the crossovers sit.
+"""
+
+import pytest
+
+
+def run_experiment(benchmark, driver, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(driver, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapping :func:`run_experiment` for terser benchmarks."""
+
+    def runner(driver, **kwargs):
+        return run_experiment(benchmark, driver, **kwargs)
+
+    return runner

@@ -1,0 +1,34 @@
+"""Table I benchmark: precise MPKI and instruction-count variation.
+
+Shape checks versus the paper: canneal has the highest MPKI, swaptions is
+essentially miss-free, every measured MPKI is within the same order of
+magnitude as the published number, and instruction-count variation stays
+low.
+"""
+
+from repro.experiments import table1
+from repro.experiments.table1 import PAPER_MPKI
+
+
+def test_table1(once):
+    result = once(table1.run)
+    measured = result.series["precise_mpki"]
+
+    # Ranking shape: canneal tops the table, swaptions is negligible.
+    assert measured["canneal"] == max(measured.values())
+    assert measured["swaptions"] == min(measured.values())
+    assert measured["swaptions"] < 0.05
+
+    # Every benchmark lands within ~3x of the published MPKI (except
+    # swaptions, which the paper reports as ~0 and we match qualitatively).
+    for name, paper_value in PAPER_MPKI.items():
+        if name == "swaptions":
+            continue
+        assert paper_value / 3 < measured[name] < paper_value * 3, name
+
+    # Instruction-count variation under LVA is small for every workload.
+    for name, variation in result.series["instruction_variation"].items():
+        assert variation < 0.15, name
+
+    print()
+    print(result.format_table())

@@ -1,0 +1,23 @@
+"""Simulation-throughput benchmarks per workload (small instances).
+
+Times one phase-1 LVA simulation of each benchmark's reduced instance.
+Useful for spotting which workload dominates experiment wall time and for
+catching throughput regressions in the workload implementations
+themselves.
+"""
+
+import pytest
+
+from repro.sim.tracesim import Mode, TraceSimulator
+from repro.workloads.registry import get_workload, workload_names
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_workload_lva_throughput(benchmark, name):
+    def simulate():
+        sim = TraceSimulator(Mode.LVA)
+        get_workload(name, small=True).execute(sim, seed=0)
+        return sim.finish()
+
+    stats = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    assert stats.loads > 0

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Transcribe measured tables from bench_output.txt into EXPERIMENTS.md.
+
+The benchmark harness prints every regenerated table in the
+``== <Name>: <description> ==`` format; this script lifts each table into
+the matching ``<!-- TABLE:<key> -->`` placeholder of EXPERIMENTS.md as a
+fenced code block. Idempotent: placeholders are preserved as HTML comments
+so reruns replace previous transcriptions.
+
+Usage: python scripts/fill_experiments_md.py [bench_output.txt] [EXPERIMENTS.md]
+"""
+
+import re
+import sys
+
+NAME_BY_KEY = {
+    "fig4": "Figure 4",
+    "fig5": "Figure 5",
+    "fig6": "Figure 6",
+    "fig7": "Figure 7",
+    "fig8": "Figure 8",
+    "fig9": "Figure 9",
+    "fig10": "Figure 10",
+    "fig11": "Figure 11",
+    "fig12": "Figure 12",
+    "fig13": "Figure 13",
+}
+
+
+def extract_tables(log_text: str) -> dict:
+    """Pull every printed '== Name: ... ==' table out of a bench log."""
+    tables = {}
+    lines = log_text.splitlines()
+    i = 0
+    while i < len(lines):
+        match = re.match(r"== (.+?): .+ ==$", lines[i].strip())
+        if match:
+            name = match.group(1)
+            block = [lines[i].strip()]
+            i += 1
+            while i < len(lines) and lines[i].strip() and not lines[i].startswith("=="):
+                if re.match(r"^-+ benchmark", lines[i]):
+                    break
+                block.append(lines[i].rstrip())
+                if lines[i].startswith("average"):
+                    i += 1
+                    break
+                i += 1
+            tables[name] = "\n".join(block)
+        else:
+            i += 1
+    return tables
+
+
+def fill(markdown: str, tables: dict) -> str:
+    """Replace each placeholder (and any previous fill) with its table."""
+    for key, name in NAME_BY_KEY.items():
+        if name not in tables:
+            continue
+        replacement = f"<!-- TABLE:{key} -->\n```\n{tables[name]}\n```"
+        pattern = re.compile(
+            rf"<!-- TABLE:{key} -->(?:\n```\n.*?\n```)?", re.DOTALL
+        )
+        markdown = pattern.sub(replacement, markdown, count=1)
+    return markdown
+
+
+def main() -> int:
+    bench_path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    md_path = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+    tables = extract_tables(open(bench_path).read())
+    filled = fill(open(md_path).read(), tables)
+    open(md_path, "w").write(filled)
+    found = sorted(set(NAME_BY_KEY.values()) & set(tables))
+    print(f"transcribed {len(found)} tables: {', '.join(found)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

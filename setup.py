@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in pyproject.toml; this file exists so
+``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (e.g. fully offline machines).
+"""
+
+from setuptools import setup
+
+setup()

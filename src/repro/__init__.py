@@ -1,0 +1,83 @@
+"""repro — a full reproduction of *Load Value Approximation* (MICRO 2014).
+
+Load value approximation (LVA) serves L1 load misses to error-tolerant data
+with values *generated* by a small hardware approximator, removing the miss
+from the critical path without speculation or rollback, and — via the
+approximation degree — without even fetching the block.
+
+Public API tour::
+
+    from repro import (
+        ApproximatorConfig, LoadValueApproximator,   # the contribution
+        TraceSimulator, Mode,                        # phase-1 (Pin-style) sim
+        FullSystemSimulator, FullSystemConfig,       # phase-2 platform
+        get_workload, workload_names,                # PARSEC-substitute apps
+    )
+
+    approx = LoadValueApproximator(ApproximatorConfig(approximation_degree=4))
+    decision = approx.on_miss(pc=0x400, is_float=True)
+    if decision.approximated:
+        value = decision.value          # the core continues with this
+    if decision.fetch:                  # train when the block arrives
+        approx.train(decision.token, actual_value)
+
+Subpackages:
+
+* :mod:`repro.core` — approximator, confidence, degree, GHB/LHB, hashing,
+  plus the idealized LVP baseline;
+* :mod:`repro.mem` — caches, MSHRs, MSI coherence, main memory;
+* :mod:`repro.prefetch` — GHB prefetcher baseline;
+* :mod:`repro.noc` — 2x2 mesh network model;
+* :mod:`repro.cpu` — out-of-order core timing model;
+* :mod:`repro.energy` — CACTI-style energy accounting;
+* :mod:`repro.sim` — phase-1 trace-driven simulator and memory front-end;
+* :mod:`repro.fullsystem` — phase-2 4-core full-system simulator;
+* :mod:`repro.workloads` — the seven PARSEC-substitute benchmarks;
+* :mod:`repro.experiments` — drivers regenerating every table and figure.
+"""
+
+from repro.annotations import AuditingMemory, AuditReport, audit_workload
+from repro.core.approximator import ApproximationDecision, LoadValueApproximator
+from repro.core.config import BASELINE_CONFIG, INFINITE_WINDOW, ApproximatorConfig
+from repro.core.predictor import IdealizedLoadValuePredictor
+from repro.errors import (
+    AddressError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.fullsystem import FullSystemConfig, FullSystemResult, FullSystemSimulator
+from repro.sim.frontend import PreciseMemory
+from repro.sim.trace import Trace, TraceRecorder
+from repro.sim.tracesim import Mode, TraceSimulator
+from repro.workloads.registry import get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressError",
+    "AuditReport",
+    "AuditingMemory",
+    "audit_workload",
+    "ApproximationDecision",
+    "ApproximatorConfig",
+    "BASELINE_CONFIG",
+    "ConfigurationError",
+    "FullSystemConfig",
+    "FullSystemResult",
+    "FullSystemSimulator",
+    "IdealizedLoadValuePredictor",
+    "INFINITE_WINDOW",
+    "LoadValueApproximator",
+    "Mode",
+    "PreciseMemory",
+    "ReproError",
+    "SimulationError",
+    "Trace",
+    "TraceRecorder",
+    "TraceSimulator",
+    "WorkloadError",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,204 @@
+"""Annotation auditing: tooling for the Section IV programmer guidelines.
+
+The paper relies on EnerJ-style annotations and gives programmers rules:
+never approximate memory addresses or pointers, avoid data used as
+divisors, be careful with data that steers control flow, and focus on the
+common case rather than cold code. This module provides a dynamic checker
+in that spirit: run a workload once against an :class:`AuditingMemory` and
+get a report of suspicious annotations, based on the observed value
+streams of every annotated load site.
+
+Heuristics (each maps to a Section IV guideline):
+
+* ``zero-divisor-risk`` — an annotated site produced values at or near
+  zero; if any consumer divides by this value, an approximation of zero
+  crashes the program (the Divide-By-Zero guideline).
+* ``address-like`` — an annotated integer site produced values that fall
+  inside allocated memory regions; annotated pointers/indices can have
+  catastrophic effects (the Memory Addresses guideline).
+* ``boolean-flag`` — an annotated integer site only ever produced values
+  in {0, 1}; flags almost always steer control flow (the Control Flow
+  guideline).
+* ``cold-site`` — an annotated site executed very few times; annotation
+  effort should target the common case (the Common Case guideline).
+
+These are heuristics over dynamic evidence, not proofs: the report is a
+review aid, exactly like a linter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+from repro.sim.frontend import PreciseMemory
+
+Number = Union[int, float]
+
+
+@dataclass
+class SiteProfile:
+    """Observed behaviour of one annotated load site (PC)."""
+
+    pc: int
+    loads: int = 0
+    is_float: bool = True
+    min_value: float = float("inf")
+    max_value: float = float("-inf")
+    near_zero_loads: int = 0
+    address_like_loads: int = 0
+    distinct_small_values: set = field(default_factory=set)
+
+    def observe(self, value: Number, address_like: bool, zero_eps: float) -> None:
+        """Fold one loaded value into the profile."""
+        self.loads += 1
+        number = float(value)
+        self.min_value = min(self.min_value, number)
+        self.max_value = max(self.max_value, number)
+        if abs(number) <= zero_eps:
+            self.near_zero_loads += 1
+        if address_like:
+            self.address_like_loads += 1
+        if len(self.distinct_small_values) <= 4:
+            self.distinct_small_values.add(value)
+
+
+@dataclass(frozen=True)
+class AnnotationWarning:
+    """One suspicious annotation, with the evidence that triggered it."""
+
+    pc: int
+    kind: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] pc={self.pc:#x}: {self.message}"
+
+
+@dataclass
+class AuditReport:
+    """All warnings produced by one audited run."""
+
+    warnings: List[AnnotationWarning]
+    sites: Dict[int, SiteProfile]
+
+    @property
+    def ok(self) -> bool:
+        """True when no guideline heuristic fired."""
+        return not self.warnings
+
+    def by_kind(self, kind: str) -> List[AnnotationWarning]:
+        """Warnings of one kind."""
+        return [w for w in self.warnings if w.kind == kind]
+
+    def format(self) -> str:
+        """Human-readable summary."""
+        lines = [
+            f"annotation audit: {len(self.sites)} annotated sites, "
+            f"{len(self.warnings)} warnings"
+        ]
+        lines.extend(f"  {warning}" for warning in self.warnings)
+        return "\n".join(lines)
+
+
+class AuditingMemory(PreciseMemory):
+    """A precise front-end that profiles every annotated load.
+
+    Values are never clobbered — the audit observes the *precise* run, the
+    right baseline for judging what an annotation would expose.
+    """
+
+    #: |value| at or below this counts as "near zero" for divisor risk.
+    ZERO_EPSILON = 1e-9
+    #: Sites with fewer dynamic loads than this are flagged cold.
+    COLD_THRESHOLD = 16
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.profiles: Dict[int, SiteProfile] = {}
+
+    def _serve_load(
+        self, pc: int, addr: int, actual: Number, approximable: bool, is_float: bool
+    ) -> Number:
+        if approximable:
+            profile = self.profiles.get(pc)
+            if profile is None:
+                profile = SiteProfile(pc=pc, is_float=is_float)
+                self.profiles[pc] = profile
+            address_like = (
+                not is_float
+                and isinstance(actual, int)
+                and self._looks_like_address(actual)
+            )
+            profile.observe(actual, address_like, self.ZERO_EPSILON)
+        return actual
+
+    def _looks_like_address(self, value: int) -> bool:
+        """Does an integer value fall inside any allocated region?"""
+        for region in self.space.regions():
+            if region.base <= value < region.end:
+                return True
+        return False
+
+    def report(self) -> AuditReport:
+        """Evaluate the guideline heuristics over everything observed."""
+        warnings: List[AnnotationWarning] = []
+        for pc, profile in sorted(self.profiles.items()):
+            if profile.loads and profile.near_zero_loads:
+                fraction = profile.near_zero_loads / profile.loads
+                warnings.append(
+                    AnnotationWarning(
+                        pc,
+                        "zero-divisor-risk",
+                        f"{fraction:.0%} of loads returned ~0; a zero "
+                        "approximation would crash any division by this value",
+                    )
+                )
+            if profile.address_like_loads > profile.loads * 0.5:
+                warnings.append(
+                    AnnotationWarning(
+                        pc,
+                        "address-like",
+                        "values consistently fall inside allocated regions — "
+                        "possible pointer/index annotated approximate",
+                    )
+                )
+            if (
+                not profile.is_float
+                and profile.loads >= 4
+                and profile.distinct_small_values <= {0, 1}
+            ):
+                warnings.append(
+                    AnnotationWarning(
+                        pc,
+                        "boolean-flag",
+                        "only values 0/1 observed — likely a branch flag "
+                        "(control flow should not be approximated)",
+                    )
+                )
+            if 0 < profile.loads < self.COLD_THRESHOLD:
+                warnings.append(
+                    AnnotationWarning(
+                        pc,
+                        "cold-site",
+                        f"only {profile.loads} dynamic loads — annotation "
+                        "effort should target the common case",
+                    )
+                )
+        return AuditReport(warnings=warnings, sites=dict(self.profiles))
+
+
+def audit_workload(workload, seed: int = 0) -> AuditReport:
+    """Run a workload against an :class:`AuditingMemory` and report.
+
+    Convenience wrapper::
+
+        from repro.annotations import audit_workload
+        from repro.workloads import get_workload
+
+        report = audit_workload(get_workload("canneal", small=True))
+        print(report.format())
+    """
+    memory = AuditingMemory()
+    workload.execute(memory, seed)
+    return memory.report()

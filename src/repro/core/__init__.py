@@ -1,0 +1,56 @@
+"""The paper's primary contribution: the load value approximator.
+
+This subpackage is a bit-accurate software model of the hardware described in
+Section III and Figure 3 of *Load Value Approximation* (MICRO 2014):
+
+* :class:`~repro.core.history.HistoryBuffer` — the FIFO global history
+  buffer (GHB) and per-entry local history buffers (LHBs);
+* :mod:`~repro.core.hashing` — the context hash ``h(PC, GHB)`` including the
+  floating-point mantissa truncation of Section VII-B;
+* :class:`~repro.core.confidence.SaturatingCounter` and the relaxed
+  confidence window test of Section III-B;
+* :class:`~repro.core.approximator.LoadValueApproximator` — the approximator
+  table with tag, confidence, degree counter and LHB per entry;
+* :class:`~repro.core.predictor.IdealizedLoadValuePredictor` — the idealized
+  LVP baseline used throughout Section VI.
+"""
+
+from repro.core.approximator import (
+    ApproximationDecision,
+    DelayQueue,
+    LoadValueApproximator,
+    TrainToken,
+)
+from repro.core.config import BASELINE_CONFIG, INFINITE_WINDOW, ApproximatorConfig
+from repro.core.entry import ApproximatorEntry
+from repro.core.confidence import (
+    SaturatingCounter,
+    confidence_update_steps,
+    within_window,
+)
+from repro.core.functions import COMPUTE_FUNCTIONS, compute_approximation
+from repro.core.hashing import context_hash, quantize_float, value_to_bits
+from repro.core.history import HistoryBuffer
+from repro.core.predictor import IdealizedLoadValuePredictor, PredictionDecision
+
+__all__ = [
+    "ApproximationDecision",
+    "ApproximatorConfig",
+    "ApproximatorEntry",
+    "BASELINE_CONFIG",
+    "DelayQueue",
+    "INFINITE_WINDOW",
+    "COMPUTE_FUNCTIONS",
+    "HistoryBuffer",
+    "IdealizedLoadValuePredictor",
+    "LoadValueApproximator",
+    "PredictionDecision",
+    "SaturatingCounter",
+    "TrainToken",
+    "compute_approximation",
+    "confidence_update_steps",
+    "context_hash",
+    "quantize_float",
+    "value_to_bits",
+    "within_window",
+]

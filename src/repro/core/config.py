@@ -1,0 +1,162 @@
+"""Approximator configuration (Table II of the paper).
+
+The defaults reproduce the paper's baseline approximator exactly:
+
+========================  =======================================
+Approximator table        512 entries, direct mapped
+Confidence bits           4 (saturating signed, range [-8, 7])
+Confidence window         +/- 10 % (floating-point data only)
+Context hash function     XOR(PC, GHB)
+Global history buffer     0 entries
+Computation function      AVERAGE(LHB)
+Local history buffer      4 entries
+Tag bits                  21
+Value delay               4 load instructions
+Approximation degree      0
+========================  =======================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+#: Sentinel for the "infinite" relaxed confidence window of Section VI-B.
+#: With an infinite window the confidence counter is never decremented and
+#: data is always approximated from the precise values in the LHB.
+INFINITE_WINDOW = math.inf
+
+
+@dataclass(frozen=True)
+class ApproximatorConfig:
+    """Immutable configuration for a :class:`LoadValueApproximator`.
+
+    Parameters mirror Table II; see the module docstring for the baseline.
+
+    Attributes:
+        table_entries: Number of direct-mapped approximator table entries.
+            Must be a power of two (the context hash is folded to
+            ``log2(table_entries)`` index bits).
+        confidence_bits: Width of the signed saturating confidence counter.
+            4 bits gives the paper's range of [-8, 7].
+        confidence_window: Relative window W; an approximation is counted as
+            "close enough" when ``|approx - actual| <= W * |actual|``.
+            ``0.0`` demands exact matches (traditional value prediction) and
+            :data:`INFINITE_WINDOW` never penalises the approximator.
+        apply_confidence_to_floats: Gate approximations of floating-point
+            data on the confidence counter (baseline: True).
+        apply_confidence_to_ints: Gate approximations of integer data on the
+            confidence counter. The baseline disables this: Section VI-B
+            finds integer data amenable enough that confidence is not
+            employed for it (Figure 6 re-enables it for the sweep).
+        ghb_size: Entries in the global history buffer hashed into the table
+            index alongside the PC (baseline: 0, i.e. PC-only indexing).
+        lhb_size: Entries in each table entry's local history buffer.
+        tag_bits: Width of the stored tag compared on lookup.
+        value_delay: Number of load instructions between generating an
+            approximation and the actual value arriving to train the
+            approximator (Section VI-C). The delay is enforced by the
+            driving simulator via :class:`DelayQueue`.
+        approximation_degree: How many times a generated value is reused —
+            and the block fetch skipped — before the entry is trained again
+            (Section III-C). Degree 0 keeps the conventional 1:1
+            fetch-to-miss ratio.
+        mantissa_drop_bits: Low-order single-precision mantissa bits zeroed
+            before hashing floating-point GHB values (Section VII-B,
+            Figure 13). 0 hashes full precision; 23 drops the whole
+            mantissa.
+        compute_fn: Name of the LHB computation function ``f`` (registered
+            in :mod:`repro.core.functions`); the paper found ``"average"``
+            most accurate.
+    """
+
+    table_entries: int = 512
+    confidence_bits: int = 4
+    confidence_window: float = 0.10
+    #: Maximum magnitude of one confidence adjustment. 1 reproduces the
+    #: paper's baseline (+1/-1); values above 1 enable the variable-step
+    #: updates Section III-B defers to future work, where better
+    #: approximations earn larger increments and worse ones larger
+    #: decrements (see :func:`repro.core.confidence.confidence_update_steps`).
+    confidence_step_max: int = 1
+    apply_confidence_to_floats: bool = True
+    apply_confidence_to_ints: bool = False
+    ghb_size: int = 0
+    lhb_size: int = 4
+    tag_bits: int = 21
+    value_delay: int = 4
+    approximation_degree: int = 0
+    mantissa_drop_bits: int = 0
+    compute_fn: str = "average"
+
+    def __post_init__(self) -> None:
+        if self.table_entries <= 0 or self.table_entries & (self.table_entries - 1):
+            raise ConfigurationError(
+                f"table_entries must be a positive power of two, got {self.table_entries}"
+            )
+        if self.confidence_bits < 1:
+            raise ConfigurationError("confidence_bits must be >= 1")
+        if self.confidence_window < 0:
+            raise ConfigurationError("confidence_window must be >= 0 (or INFINITE_WINDOW)")
+        if self.confidence_step_max < 1:
+            raise ConfigurationError("confidence_step_max must be >= 1")
+        if self.ghb_size < 0:
+            raise ConfigurationError("ghb_size must be >= 0")
+        if self.lhb_size < 1:
+            raise ConfigurationError("lhb_size must be >= 1 (need history to approximate)")
+        if self.tag_bits < 1:
+            raise ConfigurationError("tag_bits must be >= 1")
+        if self.value_delay < 0:
+            raise ConfigurationError("value_delay must be >= 0")
+        if self.approximation_degree < 0:
+            raise ConfigurationError("approximation_degree must be >= 0")
+        if not 0 <= self.mantissa_drop_bits <= 23:
+            raise ConfigurationError(
+                "mantissa_drop_bits must lie in [0, 23] (single-precision mantissa)"
+            )
+
+    @property
+    def index_bits(self) -> int:
+        """Number of table-index bits the context hash is folded down to."""
+        return self.table_entries.bit_length() - 1
+
+    @property
+    def confidence_min(self) -> int:
+        """Lowest value of the saturating confidence counter (baseline -8)."""
+        return -(1 << (self.confidence_bits - 1))
+
+    @property
+    def confidence_max(self) -> int:
+        """Highest value of the saturating confidence counter (baseline 7)."""
+        return (1 << (self.confidence_bits - 1)) - 1
+
+    def with_overrides(self, **changes: object) -> "ApproximatorConfig":
+        """Return a copy with the given fields replaced.
+
+        Convenience for the design-space sweeps, e.g.
+        ``baseline.with_overrides(ghb_size=2, approximation_degree=4)``.
+        """
+        return replace(self, **changes)
+
+    def storage_bits(self, value_bits: int = 64) -> int:
+        """Estimated storage of the approximator table in bits.
+
+        Matches the paper's Section VII-A accounting: each entry stores a
+        tag, a confidence counter, a degree counter and ``lhb_size`` values
+        of ``value_bits`` each (the paper quotes ~18 KB for 64-bit and
+        ~10 KB for 32-bit LHB values with the baseline configuration).
+        """
+        degree_bits = max(1, max(self.approximation_degree, 1).bit_length())
+        entry_bits = (
+            self.tag_bits
+            + self.confidence_bits
+            + degree_bits
+            + self.lhb_size * value_bits
+        )
+        return self.table_entries * entry_bits
+
+
+#: The paper's Table II baseline configuration.
+BASELINE_CONFIG = ApproximatorConfig()

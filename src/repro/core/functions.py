@@ -1,0 +1,84 @@
+"""LHB computation functions ``f(LHB)`` (Section III-A).
+
+A computational approximator derives the estimate from the values in the
+entry's local history buffer. The paper evaluated average, stride and delta
+variants and found a plain average the most accurate; all three are provided
+here (plus last-value) so the design space remains explorable.
+
+Functions receive the LHB values oldest-first and a flag telling them
+whether the load is integer-typed; integer loads round the result to the
+nearest integer, since the core consumes it as an integer register value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+Number = Union[int, float]
+ComputeFunction = Callable[[Sequence[Number]], float]
+
+
+def average(values: Sequence[Number]) -> float:
+    """Arithmetic mean of the LHB — the paper's baseline ``f``."""
+    return sum(values) / len(values)
+
+
+def last_value(values: Sequence[Number]) -> float:
+    """The newest LHB value (classic last-value prediction)."""
+    return float(values[-1])
+
+
+def stride(values: Sequence[Number]) -> float:
+    """Newest value plus the average stride between consecutive values."""
+    if len(values) < 2:
+        return float(values[-1])
+    deltas = [b - a for a, b in zip(values, values[1:])]
+    return float(values[-1]) + sum(deltas) / len(deltas)
+
+
+def last_delta(values: Sequence[Number]) -> float:
+    """Newest value plus the most recent delta."""
+    if len(values) < 2:
+        return float(values[-1])
+    return float(values[-1]) + (values[-1] - values[-2])
+
+
+#: Registry of computation functions selectable via
+#: :attr:`repro.core.config.ApproximatorConfig.compute_fn`.
+COMPUTE_FUNCTIONS: Dict[str, ComputeFunction] = {
+    "average": average,
+    "last": last_value,
+    "stride": stride,
+    "delta": last_delta,
+}
+
+
+def compute_approximation(
+    values: Sequence[Number], fn_name: str = "average", is_float: bool = True
+) -> Number:
+    """Apply the named computation function to a non-empty LHB.
+
+    Integer loads are rounded to the nearest integer — the approximate
+    value is consumed by the core as an integer register, and rounding
+    keeps averages of bounded integer data (e.g. pixels) inside the data's
+    natural range, which Section VI-B identifies as the reason integer data
+    approximates so well.
+
+    Raises:
+        ConfigurationError: for an unknown function name.
+        ValueError: for an empty LHB (callers must not approximate cold
+            entries).
+    """
+    if not values:
+        raise ValueError("cannot compute an approximation from an empty LHB")
+    try:
+        fn = COMPUTE_FUNCTIONS[fn_name]
+    except KeyError:
+        known = ", ".join(sorted(COMPUTE_FUNCTIONS))
+        raise ConfigurationError(f"unknown compute function {fn_name!r} (known: {known})")
+    result = fn(values)
+    if is_float:
+        return result
+    return int(round(result))

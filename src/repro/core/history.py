@@ -1,0 +1,83 @@
+"""Fixed-capacity FIFO history buffers (the GHB and LHBs of Figure 3).
+
+The global history buffer (GHB) stores the precise values loaded by the most
+recent load instructions; it provides global context for the table index
+hash. Each approximator-table entry additionally holds a local history
+buffer (LHB) of the values that followed that entry's context pattern.
+Both are plain FIFO queues, modelled here by one class.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+Number = Union[int, float]
+
+
+class HistoryBuffer:
+    """A fixed-capacity FIFO of load values.
+
+    Pushing to a full buffer evicts the oldest value, exactly like a
+    hardware shift register. A capacity of zero is legal (the baseline GHB
+    has zero entries) and makes the buffer a permanent no-op.
+    """
+
+    __slots__ = ("_capacity", "_values")
+
+    def __init__(self, capacity: int, initial: Iterable[Number] = ()) -> None:
+        if capacity < 0:
+            raise ConfigurationError(f"history capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._values: "deque[Number]" = deque(maxlen=capacity or None)
+        if capacity == 0:
+            # A zero-capacity deque(maxlen=None) would grow; guard manually.
+            self._values = deque(maxlen=0)
+        for value in initial:
+            self.push(value)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of values retained."""
+        return self._capacity
+
+    def push(self, value: Number) -> None:
+        """Insert ``value`` as the newest entry, evicting the oldest if full."""
+        if self._capacity == 0:
+            return
+        self._values.append(value)
+
+    def values(self) -> Tuple[Number, ...]:
+        """The retained values, oldest first."""
+        return tuple(self._values)
+
+    def newest(self) -> Number:
+        """The most recently pushed value.
+
+        Raises:
+            IndexError: if the buffer is empty.
+        """
+        return self._values[-1]
+
+    def clear(self) -> None:
+        """Discard all retained values (used when a table entry is re-allocated)."""
+        self._values.clear()
+
+    @property
+    def is_full(self) -> bool:
+        """True when the buffer holds ``capacity`` values."""
+        return len(self._values) == self._capacity
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Number]:
+        return iter(self._values)
+
+    def __bool__(self) -> bool:
+        return bool(self._values)
+
+    def __repr__(self) -> str:
+        return f"HistoryBuffer(capacity={self._capacity}, values={list(self._values)})"

@@ -1,0 +1,12 @@
+"""Core timing model (the FeS2 substitute).
+
+A trace-driven model of a 4-wide out-of-order core with a 32-entry ROB
+(Table II): instruction throughput is width-limited, and load misses are
+overlapped with subsequent work until the ROB fills, at which point the
+core stalls until the oldest miss resolves. Approximated loads resolve
+instantly and never occupy the window.
+"""
+
+from repro.cpu.core import CoreStats, CoreTimingModel, CoreConfig
+
+__all__ = ["CoreConfig", "CoreStats", "CoreTimingModel"]

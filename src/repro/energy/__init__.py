@@ -1,0 +1,32 @@
+"""Dynamic-energy model (the CACTI substitute).
+
+The paper feeds cache/memory/approximator geometries to CACTI 5.1 at 32 nm
+and charges a fixed dynamic energy per access. We reproduce that flow with
+an analytical SRAM/DRAM access-energy model calibrated against published
+CACTI numbers, then account system energy from the simulators' access
+counters — including the approximator-table overhead, as the paper does.
+"""
+
+from repro.energy.cacti import (
+    approximator_table_energy_nj,
+    dram_access_energy_nj,
+    noc_flit_hop_energy_nj,
+    sram_access_energy_nj,
+)
+from repro.energy.model import (
+    EnergyBreakdown,
+    EnergyModel,
+    energy_delay_product,
+    normalized_edp,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyModel",
+    "energy_delay_product",
+    "normalized_edp",
+    "approximator_table_energy_nj",
+    "dram_access_energy_nj",
+    "noc_flit_hop_energy_nj",
+    "sram_access_energy_nj",
+]

@@ -1,0 +1,26 @@
+"""Exception types for the :mod:`repro` package.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class. Configuration mistakes raise early, at construction
+time, rather than corrupting a long simulation run.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """A simulator was driven into an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload was given invalid parameters or produced invalid output."""
+
+
+class AddressError(ReproError):
+    """An address outside any allocated region was accessed."""

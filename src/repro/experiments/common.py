@@ -1,0 +1,294 @@
+"""Shared infrastructure for the experiment drivers.
+
+The paper's two-phase methodology is mirrored exactly:
+
+* **Phase 1** (design space, Sections VI-A..D): run the workload against a
+  :class:`TraceSimulator` in PRECISE mode and in the technique mode under
+  study; report MPKI normalized to precise, fetches normalized to precise,
+  and application output error versus the precise output.
+* **Phase 2** (full system, Section VI-E): capture a 4-thread trace from
+  the precise run and replay it through :class:`FullSystemSimulator` with
+  and without approximation.
+
+Precise reference runs are cached per (workload, seed, scale) because every
+sweep point needs the same baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.config import ApproximatorConfig
+from repro.fullsystem import FullSystemConfig, FullSystemResult, FullSystemSimulator
+from repro.sim.trace import Trace, TraceRecorder
+from repro.sim.tracesim import Mode, TraceSimulator
+from repro.workloads.registry import get_workload, workload_names
+
+#: Canonical workload order used by every figure.
+BASELINE_WORKLOADS: Tuple[str, ...] = tuple(workload_names())
+
+#: Phase-2 workload parameter overrides — the paper's full-system runs use
+#: the smaller *simmedium* inputs; these overrides play the same role,
+#: rebalancing compute per miss for the scaled-down 16 KB L1 platform.
+PHASE2_PARAMS: Dict[str, dict] = {
+    "canneal": {"compute_cost": 1600},
+    "bodytrack": {"compute_cost": 400},
+}
+
+
+@dataclass
+class ExperimentResult:
+    """A table/figure reproduction: labelled series of per-workload values.
+
+    ``series[label][workload]`` holds the measured value; ``meta`` records
+    experiment-level context (units, the paper's headline numbers, etc.).
+    """
+
+    name: str
+    description: str
+    series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def add(self, label: str, workload: str, value: float) -> None:
+        """Record one measured point."""
+        self.series.setdefault(label, {})[workload] = value
+
+    def average(self, label: str) -> float:
+        """Arithmetic mean of one series across workloads."""
+        values = list(self.series[label].values())
+        return sum(values) / len(values) if values else 0.0
+
+    def format_table(self) -> str:
+        """Render the result the way the paper's figure reports it."""
+        labels = list(self.series)
+        workloads: List[str] = []
+        for s in self.series.values():
+            for w in s:
+                if w not in workloads:
+                    workloads.append(w)
+        width = max([len(w) for w in workloads] + [9])
+        header = f"{'benchmark':<{width}} " + " ".join(f"{l:>12}" for l in labels)
+        lines = [f"== {self.name}: {self.description} ==", header]
+        for workload in workloads:
+            cells = " ".join(
+                f"{self.series[l].get(workload, float('nan')):>12.4f}" for l in labels
+            )
+            lines.append(f"{workload:<{width}} {cells}")
+        averages = " ".join(f"{self.average(l):>12.4f}" for l in labels)
+        lines.append(f"{'average':<{width}} {averages}")
+        return "\n".join(lines)
+
+    def format_chart(self, label: str, bar_width: int = 48) -> str:
+        """Render one series as a horizontal ASCII bar chart.
+
+        Handy for eyeballing a figure's shape straight from the CLI
+        without any plotting dependency.
+        """
+        series = self.series[label]
+        if not series:
+            return f"{self.name} / {label}: (empty)"
+        peak = max(abs(v) for v in series.values()) or 1.0
+        name_width = max(len(k) for k in series)
+        lines = [f"{self.name} — {label} (full bar = {peak:.4g})"]
+        for workload, value in series.items():
+            filled = int(round(abs(value) / peak * bar_width))
+            bar = "#" * filled
+            sign = "-" if value < 0 else ""
+            lines.append(f"{workload:<{name_width}} |{bar:<{bar_width}}| {sign}{abs(value):.4f}")
+        return "\n".join(lines)
+
+
+def averaged(
+    driver: "Callable[..., ExperimentResult]",
+    repeats: int = 5,
+    small: bool = False,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run a driver over ``repeats`` seeds and average every series.
+
+    The paper averages all measurements over 5 simulation runs
+    (Section V-A); this wrapper applies the same protocol to any
+    experiment driver, using seeds ``seed, seed+1, ...``.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    results = [driver(small=small, seed=seed + i) for i in range(repeats)]
+    merged = ExperimentResult(
+        name=results[0].name,
+        description=f"{results[0].description} (mean of {repeats} seeds)",
+        meta=dict(results[0].meta),
+    )
+    for label in results[0].series:
+        for workload in results[0].series[label]:
+            values = [r.series[label][workload] for r in results]
+            merged.add(label, workload, sum(values) / len(values))
+    return merged
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (used for normalized ratios)."""
+    values = [max(v, 1e-12) for v in values]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+# --------------------------------------------------------------------- #
+# Phase 1                                                               #
+# --------------------------------------------------------------------- #
+
+@dataclass
+class PreciseReference:
+    """Cached precise-execution baseline for one workload instance."""
+
+    output: object
+    instructions: int
+    mpki: float
+    fetches_per_ki: float
+
+
+_PRECISE_CACHE: Dict[Tuple[str, int, bool, tuple], PreciseReference] = {}
+
+
+def _workload(name: str, small: bool, params: Optional[dict] = None):
+    return get_workload(name, params=params, small=small)
+
+
+def run_precise_reference(
+    name: str, seed: int = 0, small: bool = False, params: Optional[dict] = None
+) -> PreciseReference:
+    """Precise run through the phase-1 simulator (cached)."""
+    key = (name, seed, small, tuple(sorted((params or {}).items())))
+    cached = _PRECISE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    workload = _workload(name, small, params)
+    sim = TraceSimulator(Mode.PRECISE)
+    output = workload.execute(sim, seed)
+    stats = sim.finish()
+    reference = PreciseReference(
+        output=output,
+        instructions=stats.instructions,
+        mpki=stats.raw_mpki,
+        fetches_per_ki=stats.fetches_per_kilo_instruction,
+    )
+    _PRECISE_CACHE[key] = reference
+    return reference
+
+
+@dataclass
+class TechniqueResult:
+    """One phase-1 measurement of a technique against its precise baseline."""
+
+    normalized_mpki: float
+    normalized_fetches: float
+    output_error: float
+    coverage: float
+    instruction_variation: float
+    static_approx_pcs: int
+    raw: dict
+
+
+_TECHNIQUE_CACHE: Dict[tuple, TechniqueResult] = {}
+
+
+def run_technique(
+    name: str,
+    mode: Mode,
+    config: Optional[ApproximatorConfig] = None,
+    prefetch_degree: int = 4,
+    seed: int = 0,
+    small: bool = False,
+    params: Optional[dict] = None,
+) -> TechniqueResult:
+    """Run one workload under one technique; normalize against precise.
+
+    Results are cached on the full configuration: different figures sweep
+    overlapping design points (e.g. Figures 4 and 5 share every LVA run),
+    so the cache roughly halves the cost of regenerating the whole
+    evaluation in one process. Simulations are deterministic, making the
+    cache semantically invisible.
+    """
+    key = (
+        name, mode, config, prefetch_degree, seed, small,
+        tuple(sorted((params or {}).items())),
+    )
+    cached = _TECHNIQUE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    reference = run_precise_reference(name, seed, small, params)
+    workload = _workload(name, small, params)
+    sim = TraceSimulator(
+        mode, approximator_config=config, prefetch_degree=prefetch_degree
+    )
+    output = workload.execute(sim, seed)
+    stats = sim.finish()
+    error = workload.output_error(reference.output, output)
+    normalized_mpki = stats.mpki / reference.mpki if reference.mpki else 1.0
+    normalized_fetches = (
+        stats.fetches_per_kilo_instruction / reference.fetches_per_ki
+        if reference.fetches_per_ki
+        else 1.0
+    )
+    variation = (
+        abs(stats.instructions - reference.instructions) / reference.instructions
+        if reference.instructions
+        else 0.0
+    )
+    outcome = TechniqueResult(
+        normalized_mpki=normalized_mpki,
+        normalized_fetches=normalized_fetches,
+        output_error=error,
+        coverage=stats.coverage,
+        instruction_variation=variation,
+        static_approx_pcs=len(stats.static_approx_pcs),
+        raw=stats.as_dict(),
+    )
+    _TECHNIQUE_CACHE[key] = outcome
+    return outcome
+
+
+# --------------------------------------------------------------------- #
+# Phase 2                                                               #
+# --------------------------------------------------------------------- #
+
+_TRACE_CACHE: Dict[Tuple[str, int, bool], Trace] = {}
+
+
+def capture_trace(name: str, seed: int = 0, small: bool = False) -> Trace:
+    """Capture the 4-thread load trace of a precise phase-1 run (cached).
+
+    Full-system workloads use the :data:`PHASE2_PARAMS` input scaling, the
+    analogue of the paper switching from simlarge to simmedium.
+    """
+    key = (name, seed, small)
+    cached = _TRACE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    params = PHASE2_PARAMS.get(name)
+    workload = _workload(name, small, params)
+    recorder = TraceRecorder()
+    sim = TraceSimulator(Mode.PRECISE, recorder=recorder)
+    workload.execute(sim, seed)
+    sim.finish()
+    _TRACE_CACHE[key] = recorder.trace
+    return recorder.trace
+
+
+def run_fullsystem(
+    trace: Trace,
+    approximate: bool = False,
+    approximator: Optional[ApproximatorConfig] = None,
+) -> FullSystemResult:
+    """Replay a trace through the Table II platform."""
+    config = FullSystemConfig(approximate=approximate, approximator=approximator)
+    return FullSystemSimulator(config).run(trace)
+
+
+def reset_caches() -> None:
+    """Drop cached references, technique results and traces."""
+    _PRECISE_CACHE.clear()
+    _TECHNIQUE_CACHE.clear()
+    _TRACE_CACHE.clear()

@@ -1,0 +1,221 @@
+"""Declarative paper-vs-measured shape checks.
+
+The reproduction cannot match the paper's absolute numbers (different
+inputs, a simulated substrate), but the *shapes* must hold: who wins, in
+which direction each trade-off moves, where the crossovers sit. This
+module encodes those shapes declaratively so that the benchmark harness,
+the CLI (``--verify``) and EXPERIMENTS.md all check the same claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.experiments.common import ExperimentResult
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One qualitative claim from the paper, checkable on a result."""
+
+    experiment: str
+    claim: str
+    #: Receives the result, returns True when the claim holds.
+    check: Callable[[ExperimentResult], bool]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of checking a result against its expectations."""
+
+    experiment: str
+    passed: List[str]
+    failed: List[str]
+
+    @property
+    def ok(self) -> bool:
+        """True when every expectation held."""
+        return not self.failed
+
+    def format(self) -> str:
+        lines = [f"-- {self.experiment}: {len(self.passed)} ok, {len(self.failed)} failed"]
+        lines.extend(f"   [ok]   {claim}" for claim in self.passed)
+        lines.extend(f"   [FAIL] {claim}" for claim in self.failed)
+        return "\n".join(lines)
+
+
+def _avg(result: ExperimentResult, label: str) -> float:
+    return result.average(label)
+
+
+EXPECTATIONS: Dict[str, List[Expectation]] = {
+    "table1": [
+        Expectation(
+            "table1",
+            "canneal has the highest precise MPKI (paper: 12.50)",
+            lambda r: r.series["precise_mpki"]["canneal"]
+            == max(r.series["precise_mpki"].values()),
+        ),
+        Expectation(
+            "table1",
+            "swaptions is essentially miss-free (paper: 4.92e-5)",
+            lambda r: r.series["precise_mpki"]["swaptions"] < 0.05,
+        ),
+        Expectation(
+            "table1",
+            "instruction-count variation is low for every workload",
+            lambda r: all(v < 0.15 for v in r.series["instruction_variation"].values()),
+        ),
+    ],
+    "fig4": [
+        Expectation(
+            "fig4",
+            "LVA achieves lower average MPKI than idealized LVP at GHB 0",
+            lambda r: _avg(r, "LVA-GHB-0") < _avg(r, "LVP-GHB-0"),
+        ),
+        Expectation(
+            "fig4",
+            "MPKI tends to increase with GHB size",
+            lambda r: _avg(r, "LVA-GHB-0") < _avg(r, "LVA-GHB-4"),
+        ),
+    ],
+    "fig5": [
+        Expectation(
+            "fig5",
+            "output error around/below ~10% except ferret at GHB 0",
+            lambda r: all(
+                error < 0.15
+                for name, error in r.series["GHB-0"].items()
+                if name != "ferret"
+            ),
+        ),
+        Expectation(
+            "fig5",
+            "swaptions and x264 error near zero",
+            lambda r: r.series["GHB-0"]["swaptions"] < 0.01
+            and r.series["GHB-0"]["x264"] < 0.01,
+        ),
+    ],
+    "fig6": [
+        Expectation(
+            "fig6",
+            "relaxing the window lowers MPKI (0% -> infinite)",
+            lambda r: _avg(r, "mpki-infinite") < _avg(r, "mpki-0%"),
+        ),
+        Expectation(
+            "fig6",
+            "relaxing the window raises output error",
+            lambda r: _avg(r, "error-infinite") > _avg(r, "error-0%"),
+        ),
+    ],
+    "fig7": [
+        Expectation(
+            "fig7",
+            "MPKI is resilient to value delay (4 vs 32 within 0.1)",
+            lambda r: abs(_avg(r, "mpki-delay-32") - _avg(r, "mpki-delay-4")) < 0.1,
+        ),
+        Expectation(
+            "fig7",
+            "output error is resilient to value delay",
+            lambda r: abs(_avg(r, "error-delay-32") - _avg(r, "error-delay-4")) < 0.05,
+        ),
+    ],
+    "fig8": [
+        Expectation(
+            "fig8",
+            "prefetching increases fetches (above precise execution)",
+            lambda r: _avg(r, "prefetch-16-fetches") > 1.0,
+        ),
+        Expectation(
+            "fig8",
+            "LVA decreases fetches (below precise execution)",
+            lambda r: _avg(r, "approx-16-fetches") < 1.0,
+        ),
+        Expectation(
+            "fig8",
+            "higher approximation degree cancels more fetches",
+            lambda r: _avg(r, "approx-16-fetches") < _avg(r, "approx-2-fetches"),
+        ),
+    ],
+    "fig9": [
+        Expectation(
+            "fig9",
+            "error rises with approximation degree (0 -> 16)",
+            lambda r: _avg(r, "approx-16") >= _avg(r, "approx-0"),
+        ),
+    ],
+    "fig10": [
+        Expectation(
+            "fig10",
+            "positive average speedup at degree 0 (paper: 8.5%)",
+            lambda r: _avg(r, "speedup-approx-0") > 0.0,
+        ),
+        Expectation(
+            "fig10",
+            "canneal is the biggest winner (paper: 28.6%)",
+            lambda r: r.series["speedup-approx-0"]["canneal"]
+            == max(r.series["speedup-approx-0"].values()),
+        ),
+        Expectation(
+            "fig10",
+            "energy savings grow with degree (paper: 7.2% @4, 12.6% @16)",
+            lambda r: _avg(r, "energy-approx-16") > _avg(r, "energy-approx-4")
+            > _avg(r, "energy-approx-0"),
+        ),
+    ],
+    "fig11": [
+        Expectation(
+            "fig11",
+            "L1-miss EDP improves with degree (paper: 0.58/0.46/0.36)",
+            lambda r: _avg(r, "approx-16") < _avg(r, "approx-4") < _avg(r, "approx-0"),
+        ),
+        Expectation(
+            "fig11",
+            "average EDP well below precise execution at degree 0",
+            lambda r: _avg(r, "approx-0") < 0.85,
+        ),
+    ],
+    "fig12": [
+        Expectation(
+            "fig12",
+            "x264 has the most static approximate-load PCs (paper: ~300 max)",
+            lambda r: r.series["static_approx_pcs"]["x264"]
+            == max(r.series["static_approx_pcs"].values()),
+        ),
+        Expectation(
+            "fig12",
+            "every benchmark fits the 512-entry table",
+            lambda r: all(v < 512 for v in r.series["static_approx_pcs"].values()),
+        ),
+    ],
+    "fig13": [
+        Expectation(
+            "fig13",
+            "dropping mantissa bits lowers fluidanimate MPKI (GHB 2)",
+            lambda r: r.series["normalized_mpki"]["drop-23"]
+            < r.series["normalized_mpki"]["drop-0"],
+        ),
+        Expectation(
+            "fig13",
+            "fluidanimate error stays low at full truncation",
+            lambda r: r.series["output_error"]["drop-23"] < 0.15,
+        ),
+    ],
+}
+
+
+def verify(name: str, result: ExperimentResult) -> VerificationReport:
+    """Check one experiment result against its recorded expectations.
+
+    Experiments without expectations (table2, ablations) verify trivially.
+    """
+    passed: List[str] = []
+    failed: List[str] = []
+    for expectation in EXPECTATIONS.get(name, []):
+        try:
+            ok = expectation.check(result)
+        except (KeyError, ZeroDivisionError):
+            ok = False
+        (passed if ok else failed).append(expectation.claim)
+    return VerificationReport(experiment=name, passed=passed, failed=failed)

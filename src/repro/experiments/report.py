@@ -1,0 +1,74 @@
+"""Result reporting: JSON and Markdown renderings of experiment results.
+
+The drivers return structured :class:`ExperimentResult` objects; this
+module turns them into artefacts — a machine-readable JSON dump for
+regression tracking and a Markdown table for EXPERIMENTS.md-style reports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+from repro.experiments.common import ExperimentResult
+
+
+def to_json(result: ExperimentResult, indent: int = 2) -> str:
+    """Serialise one result (series + averages + meta) as JSON."""
+    payload = {
+        "name": result.name,
+        "description": result.description,
+        "series": result.series,
+        "averages": {label: result.average(label) for label in result.series},
+        "meta": {k: _jsonable(v) for k, v in result.meta.items()},
+    }
+    return json.dumps(payload, indent=indent, sort_keys=False)
+
+
+def _jsonable(value: object) -> object:
+    try:
+        json.dumps(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+def to_markdown(result: ExperimentResult, precision: int = 4) -> str:
+    """Render one result as a GitHub-flavoured Markdown table."""
+    labels = list(result.series)
+    rows: List[str] = []
+    for series in result.series.values():
+        for workload in series:
+            if workload not in rows:
+                rows.append(workload)
+
+    lines = [
+        f"### {result.name}",
+        "",
+        result.description,
+        "",
+        "| benchmark | " + " | ".join(labels) + " |",
+        "|" + "---|" * (len(labels) + 1),
+    ]
+    for workload in rows:
+        cells = [
+            (
+                f"{result.series[label][workload]:.{precision}f}"
+                if workload in result.series[label]
+                else "—"
+            )
+            for label in labels
+        ]
+        lines.append(f"| {workload} | " + " | ".join(cells) + " |")
+    averages = [f"{result.average(label):.{precision}f}" for label in labels]
+    lines.append("| **average** | " + " | ".join(averages) + " |")
+    return "\n".join(lines)
+
+
+def render_report(results: Iterable[ExperimentResult], title: str = "Results") -> str:
+    """Concatenate several results into one Markdown document."""
+    parts = [f"# {title}", ""]
+    for result in results:
+        parts.append(to_markdown(result))
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,171 @@
+"""Command-line entry point: regenerate any (or every) table/figure.
+
+Usage::
+
+    python -m repro.experiments                 # everything, full scale
+    python -m repro.experiments fig4 fig5       # selected experiments
+    python -m repro.experiments --small         # reduced inputs (quick check)
+    python -m repro.experiments --list          # show available experiments
+    python -m repro.experiments fig6 --json out.json --markdown out.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    fig1,
+    noc_calibration,
+    sensitivity,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table1,
+    table2,
+)
+from repro.experiments.common import ExperimentResult, averaged
+from repro.experiments.expectations import verify
+from repro.experiments.report import render_report, to_json
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "fig1": fig1.run,
+    "table2": table2.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "ablate-table-size": ablations.table_size,
+    "ablate-lhb-size": ablations.lhb_size,
+    "ablate-compute-fn": ablations.compute_function,
+    "ablate-int-confidence": ablations.int_confidence,
+    "ablate-confidence-steps": ablations.confidence_steps,
+    "ablate-noc-model": noc_calibration.run,
+    "ablate-sensitivity": sensitivity.run,
+}
+
+
+def _run_one(name: str, repeats: int, small: bool, seed: int):
+    """Worker entry point: run one experiment (possibly seed-averaged)."""
+    started = time.time()
+    if repeats > 1:
+        result = averaged(EXPERIMENTS[name], repeats=repeats, small=small, seed=seed)
+    else:
+        result = EXPERIMENTS[name](small=small, seed=seed)
+    return name, result, time.time() - started
+
+
+def _execute(names, args):
+    """Yield (name, result, elapsed) for each experiment, honouring --jobs.
+
+    Parallel workers are separate processes, so they do not share the
+    precise-reference cache; with many experiments the parallelism still
+    wins comfortably.
+    """
+    if args.jobs <= 1 or len(names) == 1:
+        for name in names:
+            yield _run_one(name, args.repeats, args.small, args.seed)
+        return
+    with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+        futures = [
+            pool.submit(_run_one, name, args.repeats, args.small, args.seed)
+            for name in names
+        ]
+        for future in futures:
+            yield future.result()
+
+
+def main(argv=None) -> int:
+    """Run the requested experiments and print their tables."""
+    parser = argparse.ArgumentParser(
+        description="Reproduce the tables and figures of Load Value Approximation"
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help=f"which to run (default: all). Known: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--small", action="store_true", help="reduced inputs for a quick check"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument("--json", metavar="PATH", help="also write results as JSON")
+    parser.add_argument(
+        "--markdown", metavar="PATH", help="also write results as a Markdown report"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        metavar="N",
+        help="average each experiment over N seeds (the paper uses 5)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="check each result against the paper's qualitative expectations",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments in N parallel worker processes",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    results = []
+    failures = 0
+    for name, result, elapsed in _execute(names, args):
+        results.append(result)
+        print(result.format_table())
+        if args.verify:
+            report = verify(name, result)
+            print(report.format())
+            failures += len(report.failed)
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+
+    if args.json:
+        payload = "[\n" + ",\n".join(to_json(r) for r in results) + "\n]\n"
+        with open(args.json, "w") as handle:
+            handle.write(payload)
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write(render_report(results, title="Load Value Approximation — measured results"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,392 @@
+"""The 4-core full-system timing and energy simulator.
+
+Trace-driven: each captured thread is pinned to a core; cores advance their
+own clocks and the simulator always processes the core that is furthest
+behind, so cross-core NoC contention is resolved in (approximate) global
+time order. An L1 miss sends a request packet to the home L2 bank of the
+block, pays the L2 (and, on an L2 miss, main-memory) latency, and returns a
+data packet; the core overlaps the latency with younger work until its ROB
+fills.
+
+With approximation enabled, each core owns a private approximator. An
+approximated miss retires immediately (never occupying the miss window);
+its training fetch — when the approximation degree allows one — still
+traverses the NoC and L2 off the critical path, and the approximator is
+trained when that fetch completes, so the *value delay emerges from real
+fetch latencies* instead of being a configured constant (Section VI-E
+observes ~1 load on average).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.approximator import LoadValueApproximator, TrainToken
+from repro.cpu.core import CoreTimingModel
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.errors import SimulationError
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.coherence import CoherenceAction, MSIDirectory
+from repro.mem.dram import DRAMModel
+from repro.noc.network import MeshNetwork
+from repro.fullsystem.config import FullSystemConfig
+from repro.sim.trace import LoadEvent, Trace
+
+Number = Union[int, float]
+
+
+@dataclass
+class FullSystemResult:
+    """Phase-2 metrics for one replay."""
+
+    cycles: float
+    instructions: int
+    loads: int
+    raw_misses: int
+    covered_misses: int
+    fetches: int
+    l2_accesses: int
+    memory_accesses: int
+    noc_flit_hops: int
+    approximator_accesses: int
+    total_miss_latency: float
+    energy: EnergyBreakdown
+    #: Per-core retire times, for load-balance inspection.
+    core_cycles: List[float] = field(default_factory=list)
+
+    @property
+    def average_miss_latency(self) -> float:
+        """Mean latency over *all* raw misses; approximated misses count as
+        zero, which is exactly how the paper's 'average L1 miss latency'
+        falls by 41 % under LVA."""
+        if self.raw_misses == 0:
+            return 0.0
+        return self.total_miss_latency / self.raw_misses
+
+    @property
+    def miss_edp(self) -> float:
+        """Energy-delay product of L1 misses (Figure 11's metric):
+        miss-path dynamic energy x average L1 miss latency."""
+        return self.energy.miss_path_nj * self.average_miss_latency
+
+    def speedup_over(self, baseline: "FullSystemResult") -> float:
+        """Relative speedup versus a baseline replay (0.085 = 8.5 %)."""
+        if self.cycles == 0:
+            return 0.0
+        return baseline.cycles / self.cycles - 1.0
+
+    def energy_savings_over(self, baseline: "FullSystemResult") -> float:
+        """Fractional dynamic-energy savings versus a baseline replay."""
+        if baseline.energy.total_nj == 0:
+            return 0.0
+        return 1.0 - self.energy.total_nj / baseline.energy.total_nj
+
+
+class _PendingTraining:
+    """Per-core queue of in-flight training fetches, ordered by completion."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, TrainToken, Number]] = []
+        self._seq = 0
+
+    def push(self, completion: float, token: TrainToken, value: Number) -> None:
+        heapq.heappush(self._heap, (completion, self._seq, token, value))
+        self._seq += 1
+
+    def due(self, now: float) -> List[Tuple[TrainToken, Number]]:
+        ready = []
+        while self._heap and self._heap[0][0] <= now:
+            _, _, token, value = heapq.heappop(self._heap)
+            ready.append((token, value))
+        return ready
+
+    def drain(self) -> List[Tuple[TrainToken, Number]]:
+        ready = [(token, value) for _, _, token, value in self._heap]
+        self._heap.clear()
+        return ready
+
+
+class FullSystemSimulator:
+    """Replay a 4-thread trace through the Table II platform."""
+
+    def __init__(self, config: Optional[FullSystemConfig] = None) -> None:
+        self.config = config or FullSystemConfig()
+        cfg = self.config
+        self.cores = [CoreTimingModel(cfg.core) for _ in range(cfg.num_cores)]
+        self.l1s = [
+            SetAssociativeCache(cfg.l1, name=f"L1-{i}") for i in range(cfg.num_cores)
+        ]
+        self.l2 = SetAssociativeCache(cfg.l2, name="L2")
+        self.dram = DRAMModel(cfg.dram) if cfg.memory_model == "dram" else None
+        self.noc = MeshNetwork(cfg.noc)
+        self.directory = MSIDirectory(cfg.num_cores)
+        self.energy_model = EnergyModel(
+            l1_size_bytes=cfg.l1.size_bytes,
+            l1_associativity=cfg.l1.associativity,
+            l2_size_bytes=cfg.l2.size_bytes,
+            l2_associativity=cfg.l2.associativity,
+            approximator_entries=cfg.resolved_approximator().table_entries,
+            approximator_lhb=cfg.resolved_approximator().lhb_size,
+        )
+        if cfg.approximate:
+            approx_cfg = cfg.resolved_approximator()
+            self.approximators: Optional[List[LoadValueApproximator]] = [
+                LoadValueApproximator(approx_cfg) for _ in range(cfg.num_cores)
+            ]
+        else:
+            self.approximators = None
+        self._pending = [_PendingTraining() for _ in range(cfg.num_cores)]
+        # Outstanding-fetch completion times per core: a finite MSHR file
+        # paces how fast a core can pump fetches into the NoC (8 entries,
+        # a typical L1 MSHR budget). Training fetches for approximated
+        # misses are off the critical path and deprioritized (Section VI-C
+        # suggests exactly this): they have their own small budget and are
+        # *dropped* rather than queued when it is exhausted, so they can
+        # never delay a demand miss.
+        self._outstanding_demand: List[List[float]] = [[] for _ in range(cfg.num_cores)]
+        self._outstanding_training: List[List[float]] = [
+            [] for _ in range(cfg.num_cores)
+        ]
+        self.mshr_entries = 8
+        self.training_fetch_budget = 4
+        self.dropped_trainings = 0
+        # Counters.
+        self._loads = 0
+        self._raw_misses = 0
+        self._covered = 0
+        self._fetches = 0
+        self._l2_accesses = 0
+        self._memory_accesses = 0
+        self._total_miss_latency = 0.0
+        self._instructions = 0
+
+    # ------------------------------------------------------------------ #
+    # Topology helpers                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _bank_of(self, addr: int) -> int:
+        """Home L2 bank (mesh node) of a block: low block-address interleave."""
+        block = addr >> (self.config.l1.block_bytes.bit_length() - 1)
+        return block % self.config.num_cores
+
+    # ------------------------------------------------------------------ #
+    # Miss servicing                                                      #
+    # ------------------------------------------------------------------ #
+
+    def _fetch_block(
+        self, core_id: int, addr: int, departure: float, training: bool = False
+    ) -> Optional[float]:
+        """Fetch a block through NoC + L2 (+ memory); returns the completion
+        time at the requesting core (or None for a dropped training fetch).
+        Charges traffic and fills caches.
+
+        Demand issue is paced by the core's MSHR file: with
+        ``mshr_entries`` fetches already in flight the request waits for
+        the oldest to complete. Training fetches use their own small budget
+        and are dropped when it is full.
+        """
+        pool = (
+            self._outstanding_training[core_id]
+            if training
+            else self._outstanding_demand[core_id]
+        )
+        while pool and pool[0] <= departure:
+            heapq.heappop(pool)
+        if training:
+            if len(pool) >= self.training_fetch_budget:
+                self.dropped_trainings += 1
+                return None
+        else:
+            while len(pool) >= self.mshr_entries:
+                departure = max(departure, heapq.heappop(pool))
+        self._fetches += 1
+        bank = self._bank_of(addr)
+        request = self.noc.send(
+            core_id,
+            bank,
+            int(departure),
+            self.config.noc.control_flits,
+            low_priority=training,
+        )
+        self._l2_accesses += 1
+        service_done = request.arrival + self.config.l2.latency
+        if not self.l2.access(addr).hit:
+            self._memory_accesses += 1
+            if self.dram is not None:
+                service_done += self.dram.access(addr, service_done)
+            else:
+                service_done += self.config.memory_latency
+            self.l2.fill(addr)
+        reply = self.noc.send(
+            bank,
+            core_id,
+            int(service_done),
+            self.config.noc.data_flits(self.config.l1.block_bytes),
+            low_priority=training,
+        )
+        self.directory.read(core_id, addr)
+        self.l1s[core_id].fill(addr)
+        heapq.heappush(pool, float(reply.arrival))
+        return float(reply.arrival)
+
+    # ------------------------------------------------------------------ #
+    # Event processing                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _apply_due_trainings(self, core_id: int) -> None:
+        if self.approximators is None:
+            return
+        for token, value in self._pending[core_id].due(self.cores[core_id].clock):
+            self.approximators[core_id].train(token, value)
+
+    def _process_store(self, core_id: int, event: LoadEvent) -> None:
+        """A store event (present only in traces captured with
+        ``record_stores=True``): write-no-allocate with MSI invalidation of
+        remote sharers. Stores retire through the store buffer and never
+        stall the core (Section V-A: store misses are off the critical
+        path); their cost here is the coherence traffic they generate."""
+        core = self.cores[core_id]
+        block = self.l1s[core_id].block_address(event.addr)
+        hit = self.l1s[core_id].contains(event.addr)
+        response = self.directory.write(core_id, block)
+        for target, action in response.actions:
+            if action is CoherenceAction.INVALIDATE and target != core_id:
+                if self.l1s[target].invalidate(event.addr):
+                    # One invalidation control message per remote sharer.
+                    self.noc.send(
+                        self._bank_of(event.addr), target,
+                        int(core.clock), self.config.noc.control_flits,
+                    )
+        if hit:
+            self.l1s[core_id].access(event.addr, is_write=True)
+        else:
+            # Write-through to the home bank: a control-sized message.
+            self.noc.send(
+                core_id, self._bank_of(event.addr),
+                int(core.clock), self.config.noc.control_flits,
+            )
+            self.directory.evict(core_id, block)  # no allocation performed
+        core.advance(1)
+
+    def _process(self, core_id: int, event: LoadEvent) -> None:
+        if event.is_store:
+            self._process_store(core_id, event)
+            return
+        core = self.cores[core_id]
+        self._apply_due_trainings(core_id)
+        self._loads += 1
+
+        l1 = self.l1s[core_id]
+        if l1.access(event.addr).hit:
+            core.issue_load(0)
+            return
+
+        self._raw_misses += 1
+        if self.approximators is not None and event.approximable:
+            decision = self.approximators[core_id].on_miss(event.pc, event.is_float)
+            if decision.approximated:
+                self._covered += 1
+                core.issue_load(0, blocking=False)
+                if decision.fetch:
+                    # Off the critical path: the fetch trains the entry when
+                    # it lands, providing the emergent value delay. It may
+                    # be dropped entirely under pressure.
+                    completion = self._fetch_block(
+                        core_id, event.addr, core.clock, training=True
+                    )
+                    if completion is not None:
+                        self._pending[core_id].push(
+                            completion, decision.token, event.value
+                        )
+                return
+            # Not approximated (cold/unconfident): a normal blocking miss
+            # whose arrival also trains the approximator.
+            completion = self._fetch_block(core_id, event.addr, core.clock)
+            latency = completion - core.clock
+            self._total_miss_latency += latency
+            core.issue_load(int(latency))
+            if decision.token is not None:
+                self._pending[core_id].push(completion, decision.token, event.value)
+            return
+
+        completion = self._fetch_block(core_id, event.addr, core.clock)
+        latency = completion - core.clock
+        self._total_miss_latency += latency
+        core.issue_load(int(latency))
+
+    # ------------------------------------------------------------------ #
+    # Entry point                                                         #
+    # ------------------------------------------------------------------ #
+
+    def run(self, trace: Trace) -> FullSystemResult:
+        """Replay ``trace`` and return the phase-2 metrics."""
+        streams = trace.per_thread()
+        if not streams:
+            raise SimulationError("cannot replay an empty trace")
+        queues: Dict[int, List[LoadEvent]] = {}
+        for tid, events in streams.items():
+            queues.setdefault(tid % self.config.num_cores, []).extend(events)
+        cursors = {core_id: 0 for core_id in queues}
+        gap_pending = {core_id: True for core_id in queues}
+
+        # Always advance the core that is furthest behind in time, so NoC
+        # link reservations happen in near-global time order. Gap execution
+        # and the load itself are separate scheduling steps: otherwise a
+        # long gap would let one core stamp a packet far in the future and
+        # spuriously queue every slower core's traffic behind it.
+        while cursors:
+            core_id = min(cursors, key=lambda c: self.cores[c].clock)
+            events = queues[core_id]
+            index = cursors[core_id]
+            event = events[index]
+            if gap_pending[core_id]:
+                gap_pending[core_id] = False
+                if event.gap:
+                    self.cores[core_id].advance(event.gap)
+                    continue
+            self._process(core_id, event)
+            if index + 1 >= len(events):
+                del cursors[core_id]
+            else:
+                cursors[core_id] = index + 1
+                gap_pending[core_id] = True
+
+        for core_id, core in enumerate(self.cores):
+            core.finish()
+            if self.approximators is not None:
+                for token, value in self._pending[core_id].drain():
+                    self.approximators[core_id].train(token, value)
+
+        self._instructions = sum(core.stats.instructions for core in self.cores)
+        approximator_accesses = 0
+        if self.approximators is not None:
+            approximator_accesses = sum(
+                approx.stats.lookups + approx.stats.trainings
+                for approx in self.approximators
+            )
+        energy = self.energy_model.account(
+            l1_accesses=self._loads,
+            l2_accesses=self._l2_accesses,
+            memory_accesses=self._memory_accesses,
+            noc_flit_hops=self.noc.stats.flit_hops,
+            approximator_accesses=approximator_accesses,
+        )
+        return FullSystemResult(
+            cycles=max(core.clock for core in self.cores),
+            instructions=self._instructions,
+            loads=self._loads,
+            raw_misses=self._raw_misses,
+            covered_misses=self._covered,
+            fetches=self._fetches,
+            l2_accesses=self._l2_accesses,
+            memory_accesses=self._memory_accesses,
+            noc_flit_hops=self.noc.stats.flit_hops,
+            approximator_accesses=approximator_accesses,
+            total_miss_latency=self._total_miss_latency,
+            energy=energy,
+            core_cycles=[core.clock for core in self.cores],
+        )

@@ -1,0 +1,36 @@
+"""Memory-hierarchy substrate: caches, MSHRs, coherence, main memory.
+
+These are the structures the paper's evaluation platform provides (64 KB
+private L1s in the Pin phase; 16 KB L1s + 512 KB shared L2 + 1 GB memory in
+the full-system phase, Table II). Everything is built from scratch: blocks,
+replacement policies, set-associative caches, an MSHR file, an MSI
+directory and a two-level hierarchy helper.
+"""
+
+from repro.mem.block import CacheBlock, CoherenceState
+from repro.mem.cache import AccessResult, CacheConfig, SetAssociativeCache
+from repro.mem.coherence import MSIDirectory
+from repro.mem.dram import DRAMConfig, DRAMModel
+from repro.mem.hierarchy import HierarchyAccess, TwoLevelHierarchy
+from repro.mem.memory import MainMemory
+from repro.mem.mshr import MSHRFile
+from repro.mem.replacement import FIFOPolicy, LRUPolicy, RandomPolicy, ReplacementPolicy
+
+__all__ = [
+    "AccessResult",
+    "CacheBlock",
+    "CacheConfig",
+    "CoherenceState",
+    "DRAMConfig",
+    "DRAMModel",
+    "FIFOPolicy",
+    "HierarchyAccess",
+    "LRUPolicy",
+    "MainMemory",
+    "MSHRFile",
+    "MSIDirectory",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "TwoLevelHierarchy",
+]

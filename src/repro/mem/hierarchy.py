@@ -1,0 +1,85 @@
+"""A two-level cache hierarchy convenience wrapper.
+
+Composes an L1, an L2 and main memory for single-stream studies (the
+full-system simulator wires its own multi-core topology in
+:mod:`repro.fullsystem` because the L2 there is distributed across NoC
+nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mem.cache import CacheConfig, SetAssociativeCache
+from repro.mem.memory import MainMemory
+
+
+@dataclass
+class HierarchyAccess:
+    """Outcome of a load walking the hierarchy."""
+
+    #: "l1", "l2" or "memory" — the level that supplied the data.
+    served_by: str
+    #: Total latency in cycles, summing each level traversed.
+    latency: int
+    #: True when a block was brought into the L1.
+    l1_filled: bool
+
+
+class TwoLevelHierarchy:
+    """L1 + L2 + memory with inclusive fills on the demand path."""
+
+    def __init__(
+        self,
+        l1: Optional[SetAssociativeCache] = None,
+        l2: Optional[SetAssociativeCache] = None,
+        memory: Optional[MainMemory] = None,
+    ) -> None:
+        self.l1 = l1 or SetAssociativeCache(
+            CacheConfig(size_bytes=16 * 1024, associativity=8, latency=1), name="l1"
+        )
+        self.l2 = l2 or SetAssociativeCache(
+            CacheConfig(size_bytes=512 * 1024, associativity=16, latency=6), name="l2"
+        )
+        self.memory = memory or MainMemory()
+
+    def load(self, addr: int, fetch_on_miss: bool = True) -> HierarchyAccess:
+        """Access ``addr``; on an L1 miss optionally fetch through L2/memory.
+
+        ``fetch_on_miss=False`` models an approximated miss whose fetch was
+        cancelled by the approximation degree: the miss is recorded but no
+        lower level is touched and nothing is filled.
+        """
+        latency = self.l1.config.latency
+        if self.l1.access(addr).hit:
+            return HierarchyAccess(served_by="l1", latency=latency, l1_filled=False)
+        if not fetch_on_miss:
+            return HierarchyAccess(served_by="none", latency=latency, l1_filled=False)
+        latency += self.l2.config.latency
+        if self.l2.access(addr).hit:
+            self._fill_l1(addr)
+            return HierarchyAccess(served_by="l2", latency=latency, l1_filled=True)
+        latency += self.memory.read(addr)
+        self.l2.fill(addr)
+        self._fill_l1(addr)
+        return HierarchyAccess(served_by="memory", latency=latency, l1_filled=True)
+
+    def store(self, addr: int) -> HierarchyAccess:
+        """Write ``addr`` (write-allocate, write-back)."""
+        access = self.load(addr)
+        self.l1.access(addr, is_write=True)
+        return access
+
+    def _fill_l1(self, addr: int) -> None:
+        result = self.l1.fill(addr)
+        if result.writeback is not None:
+            # Dirty L1 victim lands in the L2 (write-back).
+            self.l2.fill(result.writeback)
+            self.l2.access(result.writeback, is_write=True)
+
+    def reset(self) -> None:
+        """Reset every level."""
+        self.l1.reset()
+        self.l2.reset()
+        self.memory.reset()

@@ -1,0 +1,55 @@
+"""Main-memory timing/energy endpoint (1 GB, 160-cycle latency in Table II)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class MemoryStats:
+    """Main-memory access counters (reads = block fetches, writes = writebacks)."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses of either kind."""
+        return self.reads + self.writes
+
+
+class MainMemory:
+    """Fixed-latency main memory.
+
+    The paper models 1 GB at a 160-cycle access latency; contention in the
+    memory controller is secondary to NoC and L2 effects at this scale, so
+    accesses are unqueued. Energy is accounted per access by
+    :mod:`repro.energy`.
+    """
+
+    def __init__(self, latency: int = 160, size_bytes: int = 1 << 30) -> None:
+        if latency < 0:
+            raise ConfigurationError("memory latency must be >= 0")
+        if size_bytes <= 0:
+            raise ConfigurationError("memory size must be positive")
+        self.latency = latency
+        self.size_bytes = size_bytes
+        self.stats = MemoryStats()
+
+    def read(self, addr: int) -> int:
+        """Fetch the block containing ``addr``; returns the access latency."""
+        del addr
+        self.stats.reads += 1
+        return self.latency
+
+    def write(self, addr: int) -> int:
+        """Write back the block containing ``addr``; returns the latency."""
+        del addr
+        self.stats.writes += 1
+        return self.latency
+
+    def reset(self) -> None:
+        """Clear statistics."""
+        self.stats = MemoryStats()

@@ -1,0 +1,99 @@
+"""Miss-status holding registers (MSHRs).
+
+MSHRs track outstanding misses so that secondary misses to an in-flight
+block merge instead of issuing duplicate fetches. The full-system simulator
+uses them to bound memory-level parallelism per core and to model the value
+delay realistically (~1 load on average, Section VI-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding block fetch."""
+
+    block_addr: int
+    issue_time: int
+    #: Opaque per-load payloads merged onto this miss (e.g. ROB slots).
+    waiters: List[object] = field(default_factory=list)
+
+
+@dataclass
+class MSHRStats:
+    """MSHR event counters."""
+
+    allocations: int = 0
+    merges: int = 0
+    stalls_full: int = 0
+
+
+class MSHRFile:
+    """A fixed-size file of MSHR entries keyed by block address."""
+
+    def __init__(self, num_entries: int = 8) -> None:
+        if num_entries < 1:
+            raise ConfigurationError("MSHR file needs at least one entry")
+        self.num_entries = num_entries
+        self.stats = MSHRStats()
+        self._entries: Dict[int, MSHREntry] = {}
+
+    @property
+    def is_full(self) -> bool:
+        """True when no further primary miss can be accepted."""
+        return len(self._entries) >= self.num_entries
+
+    @property
+    def outstanding(self) -> int:
+        """Number of in-flight block fetches."""
+        return len(self._entries)
+
+    def lookup(self, block_addr: int) -> Optional[MSHREntry]:
+        """The entry tracking ``block_addr``, or None."""
+        return self._entries.get(block_addr)
+
+    def allocate(self, block_addr: int, now: int, waiter: object = None) -> MSHREntry:
+        """Allocate an entry for a primary miss.
+
+        Raises:
+            SimulationError: if the file is full (callers must check
+                :attr:`is_full` and stall instead) or the block is already
+                in flight (callers must merge via :meth:`merge`).
+        """
+        if block_addr in self._entries:
+            raise SimulationError(f"block {block_addr:#x} already has an MSHR")
+        if self.is_full:
+            self.stats.stalls_full += 1
+            raise SimulationError("MSHR file full")
+        entry = MSHREntry(block_addr, now)
+        if waiter is not None:
+            entry.waiters.append(waiter)
+        self._entries[block_addr] = entry
+        self.stats.allocations += 1
+        return entry
+
+    def merge(self, block_addr: int, waiter: object) -> MSHREntry:
+        """Attach a secondary miss to an in-flight block."""
+        entry = self._entries.get(block_addr)
+        if entry is None:
+            raise SimulationError(f"no MSHR in flight for block {block_addr:#x}")
+        entry.waiters.append(waiter)
+        self.stats.merges += 1
+        return entry
+
+    def complete(self, block_addr: int) -> MSHREntry:
+        """Retire the entry when the fill arrives; returns it (with waiters)."""
+        entry = self._entries.pop(block_addr, None)
+        if entry is None:
+            raise SimulationError(f"completing unknown block {block_addr:#x}")
+        return entry
+
+    def reset(self) -> None:
+        """Drop all entries and statistics."""
+        self._entries.clear()
+        self.stats = MSHRStats()

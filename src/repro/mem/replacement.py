@@ -1,0 +1,65 @@
+"""Replacement policies for set-associative caches.
+
+Policies pick a victim way within one set. They are stateless objects —
+all recency/insertion metadata lives in the blocks themselves — so one
+policy instance can serve every set of every cache.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.mem.block import CacheBlock
+
+
+class ReplacementPolicy(abc.ABC):
+    """Strategy interface: choose which way of a set to evict."""
+
+    @abc.abstractmethod
+    def victim(self, ways: Sequence[CacheBlock]) -> int:
+        """Index of the way to evict. Invalid ways are preferred by caches
+        before this is ever consulted, so implementations may assume every
+        way is valid."""
+
+    def on_hit(self, block: CacheBlock, now: int) -> None:
+        """Metadata update on an access hit (default: bump recency)."""
+        block.last_use = now
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the least-recently-used way (the usual L1 choice)."""
+
+    def victim(self, ways: Sequence[CacheBlock]) -> int:
+        oldest = 0
+        for i, block in enumerate(ways):
+            if block.last_use < ways[oldest].last_use:
+                oldest = i
+        return oldest
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict the earliest-inserted way, ignoring recency."""
+
+    def victim(self, ways: Sequence[CacheBlock]) -> int:
+        oldest = 0
+        for i, block in enumerate(ways):
+            if block.inserted_at < ways[oldest].inserted_at:
+                oldest = i
+        return oldest
+
+    def on_hit(self, block: CacheBlock, now: int) -> None:
+        # FIFO deliberately does not track recency.
+        del block, now
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random way (cheap hardware, decent behaviour)."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def victim(self, ways: Sequence[CacheBlock]) -> int:
+        return int(self._rng.integers(0, len(ways)))

@@ -1,0 +1,27 @@
+"""Network-on-chip model (the paper models a 2x2 mesh with BookSim).
+
+A packet-level mesh: XY dimension-order routing, 3-cycle router pipeline
+per hop (Table II), one-flit-per-cycle links with per-link FIFO contention.
+Request packets are a single flit; data replies carry a 64 B cache block
+(block/flit-width flits).
+"""
+
+from repro.noc.detailed import (
+    DetailedMeshNetwork,
+    DetailedNocConfig,
+    DetailedNocStats,
+)
+from repro.noc.network import MeshNetwork, NocConfig, PacketTimings
+from repro.noc.router import Link
+from repro.noc.topology import MeshTopology
+
+__all__ = [
+    "DetailedMeshNetwork",
+    "DetailedNocConfig",
+    "DetailedNocStats",
+    "Link",
+    "MeshNetwork",
+    "MeshTopology",
+    "NocConfig",
+    "PacketTimings",
+]

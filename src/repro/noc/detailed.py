@@ -1,0 +1,315 @@
+"""A cycle-driven, flit-level wormhole mesh router model.
+
+The paper's full-system phase uses BookSim, a detailed cycle-accurate NoC
+simulator. The fast link-reservation model in :mod:`repro.noc.network` is
+what the full-system replay uses (Python cannot afford flit-level detail
+for hundreds of thousands of packets), and *this* module is the detailed
+reference it is calibrated against: input-buffered routers with virtual
+channels, credit-based flow control, XY routing, per-output wormhole
+grants and round-robin switch arbitration.
+
+The ``ablate-noc-model`` experiment drives both models with identical
+synthetic traffic and compares their latency/throughput behaviour; the
+detailed model is also usable standalone for NoC studies:
+
+    >>> net = DetailedMeshNetwork(DetailedNocConfig())
+    >>> net.inject(src=0, dst=3, size_flits=5, time=0)
+    0
+    >>> stats = net.run(max_cycles=100)
+    >>> stats.delivered
+    1
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.noc.topology import MeshTopology
+
+#: Port identifiers: four mesh directions plus local injection/ejection.
+LOCAL, NORTH, SOUTH, EAST, WEST = range(5)
+_PORTS = (LOCAL, NORTH, SOUTH, EAST, WEST)
+
+
+@dataclass(frozen=True)
+class DetailedNocConfig:
+    """Detailed-router parameters.
+
+    Attributes:
+        width/height: Mesh dimensions.
+        vcs: Virtual channels per input port.
+        buffer_depth: Flit slots per VC buffer.
+        router_latency: Pipeline cycles a flit spends in a router before it
+            can compete for the crossbar (matches the fast model's 3).
+    """
+
+    width: int = 2
+    height: int = 2
+    vcs: int = 2
+    buffer_depth: int = 4
+    router_latency: int = 3
+
+    def __post_init__(self) -> None:
+        if self.vcs < 1:
+            raise ConfigurationError("need at least one virtual channel")
+        if self.buffer_depth < 1:
+            raise ConfigurationError("buffer depth must be >= 1")
+        if self.router_latency < 1:
+            raise ConfigurationError("router latency must be >= 1")
+
+
+@dataclass
+class _Flit:
+    packet_id: int
+    dst: int
+    is_head: bool
+    is_tail: bool
+    #: Cycle at which the flit becomes eligible for switch allocation in
+    #: its current router (models the router pipeline).
+    ready_at: int = 0
+
+
+@dataclass
+class _Packet:
+    id: int
+    src: int
+    dst: int
+    size: int
+    inject_time: int
+    arrival_time: Optional[int] = None
+
+
+class _VCBuffer:
+    """One virtual-channel FIFO with a fixed credit budget."""
+
+    __slots__ = ("depth", "flits")
+
+    def __init__(self, depth: int) -> None:
+        self.depth = depth
+        self.flits: Deque[_Flit] = deque()
+
+    @property
+    def has_credit(self) -> bool:
+        return len(self.flits) < self.depth
+
+    def head(self) -> Optional[_Flit]:
+        return self.flits[0] if self.flits else None
+
+
+@dataclass
+class DetailedNocStats:
+    """Aggregate statistics of a detailed simulation."""
+
+    injected: int = 0
+    delivered: int = 0
+    total_latency: int = 0
+    flit_hops: int = 0
+
+    @property
+    def average_latency(self) -> float:
+        """Mean packet latency (inject -> tail ejected), cycles."""
+        return self.total_latency / self.delivered if self.delivered else 0.0
+
+
+class DetailedMeshNetwork:
+    """Flit-level mesh: inject packets, then :meth:`run` the clock."""
+
+    def __init__(self, config: DetailedNocConfig = DetailedNocConfig()) -> None:
+        self.config = config
+        self.topology = MeshTopology(config.width, config.height)
+        self.stats = DetailedNocStats()
+        self.cycle = 0
+        self._packets: Dict[int, _Packet] = {}
+        self._next_id = 0
+        # buffers[node][port][vc]
+        self._buffers: List[List[List[_VCBuffer]]] = [
+            [
+                [_VCBuffer(config.buffer_depth) for _ in range(config.vcs)]
+                for _ in _PORTS
+            ]
+            for _ in range(self.topology.num_nodes)
+        ]
+        # Wormhole output grants: (node, out_port) -> (in_port, vc) or None.
+        self._grants: Dict[Tuple[int, int], Optional[Tuple[int, int]]] = {}
+        # Round-robin arbitration pointers per (node, out_port).
+        self._rr: Dict[Tuple[int, int], int] = {}
+        # Pending injections that did not fit the local buffer yet.
+        self._inject_queues: List[Deque[_Flit]] = [
+            deque() for _ in range(self.topology.num_nodes)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Injection                                                          #
+    # ------------------------------------------------------------------ #
+
+    def inject(self, src: int, dst: int, size_flits: int, time: Optional[int] = None) -> int:
+        """Queue a packet for injection at ``src``; returns its packet id.
+
+        ``time`` defaults to the current cycle; injecting in the past is an
+        error.
+        """
+        when = self.cycle if time is None else time
+        if when < self.cycle:
+            raise SimulationError("cannot inject in the past")
+        if size_flits < 1:
+            raise ConfigurationError("packets need at least one flit")
+        packet = _Packet(self._next_id, src, dst, size_flits, when)
+        self._packets[packet.id] = packet
+        self._next_id += 1
+        self.stats.injected += 1
+        for i in range(size_flits):
+            flit = _Flit(
+                packet_id=packet.id,
+                dst=dst,
+                is_head=(i == 0),
+                is_tail=(i == size_flits - 1),
+                ready_at=when,
+            )
+            self._inject_queues[src].append(flit)
+        return packet.id
+
+    # ------------------------------------------------------------------ #
+    # Routing helpers                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _output_port(self, node: int, dst: int) -> int:
+        """XY dimension-order output port selection."""
+        if node == dst:
+            return LOCAL
+        x, y = self.topology.coords(node)
+        dx, dy = self.topology.coords(dst)
+        if x < dx:
+            return EAST
+        if x > dx:
+            return WEST
+        if y < dy:
+            return SOUTH  # +y direction
+        return NORTH
+
+    def _neighbour(self, node: int, port: int) -> int:
+        x, y = self.topology.coords(node)
+        if port == EAST:
+            return self.topology.node_at(x + 1, y)
+        if port == WEST:
+            return self.topology.node_at(x - 1, y)
+        if port == SOUTH:
+            return self.topology.node_at(x, y + 1)
+        if port == NORTH:
+            return self.topology.node_at(x, y - 1)
+        raise SimulationError(f"port {port} has no neighbour")
+
+    @staticmethod
+    def _reverse(port: int) -> int:
+        return {EAST: WEST, WEST: EAST, NORTH: SOUTH, SOUTH: NORTH}[port]
+
+    # ------------------------------------------------------------------ #
+    # The clock                                                          #
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> None:
+        """Advance the network by one cycle."""
+        moves: List[Tuple] = []
+
+        # Phase 1: injection — local port VC 0 accepts queued flits.
+        for node, queue in enumerate(self._inject_queues):
+            if not queue:
+                continue
+            flit = queue[0]
+            if flit.ready_at > self.cycle:
+                continue
+            vc = self._buffers[node][LOCAL][flit.packet_id % self.config.vcs]
+            if vc.has_credit:
+                queue.popleft()
+                flit.ready_at = self.cycle + self.config.router_latency
+                vc.flits.append(flit)
+
+        # Phase 2: switch allocation, one winner per (node, out_port).
+        for node in range(self.topology.num_nodes):
+            requests: Dict[int, List[Tuple[int, int, _Flit]]] = {}
+            for port in _PORTS:
+                for vc_id, vc in enumerate(self._buffers[node][port]):
+                    flit = vc.head()
+                    if flit is None or flit.ready_at > self.cycle:
+                        continue
+                    out = self._output_port(node, flit.dst)
+                    requests.setdefault(out, []).append((port, vc_id, flit))
+
+            for out, candidates in requests.items():
+                grant_key = (node, out)
+                holder = self._grants.get(grant_key)
+                chosen = None
+                if holder is not None:
+                    for port, vc_id, flit in candidates:
+                        if (port, vc_id) == holder:
+                            chosen = (port, vc_id, flit)
+                            break
+                    if chosen is None:
+                        continue  # the granted VC has nothing ready
+                else:
+                    pointer = self._rr.get(grant_key, 0)
+                    candidates.sort(key=lambda c: (c[0] * self.config.vcs + c[1] - pointer)
+                                    % (len(_PORTS) * self.config.vcs))
+                    chosen = candidates[0]
+                port, vc_id, flit = chosen
+
+                if out == LOCAL and flit.dst == node:
+                    moves.append(("eject", node, port, vc_id, flit, None))
+                else:
+                    target = self._neighbour(node, out)
+                    in_port = self._reverse(out)
+                    dest_vc = self._buffers[target][in_port][
+                        flit.packet_id % self.config.vcs
+                    ]
+                    if not dest_vc.has_credit:
+                        continue  # back-pressure: stall this output
+                    moves.append(("hop", node, port, vc_id, flit, (target, in_port)))
+
+                if flit.is_head:
+                    self._grants[grant_key] = (port, vc_id)
+                if flit.is_tail:
+                    self._grants[grant_key] = None
+                    self._rr[grant_key] = (port * self.config.vcs + vc_id + 1) % (
+                        len(_PORTS) * self.config.vcs
+                    )
+
+        # Phase 3: commit all winning moves simultaneously.
+        for kind, node, port, vc_id, flit, target in moves:
+            buffer = self._buffers[node][port][vc_id]
+            assert buffer.head() is flit
+            buffer.flits.popleft()
+            if kind == "eject":
+                if flit.is_tail:
+                    packet = self._packets[flit.packet_id]
+                    packet.arrival_time = self.cycle + 1
+                    self.stats.delivered += 1
+                    self.stats.total_latency += packet.arrival_time - packet.inject_time
+            else:
+                target_node, in_port = target
+                flit.ready_at = self.cycle + self.config.router_latency
+                self._buffers[target_node][in_port][
+                    flit.packet_id % self.config.vcs
+                ].flits.append(flit)
+                self.stats.flit_hops += 1
+
+        self.cycle += 1
+
+    def run(self, max_cycles: int = 10_000) -> DetailedNocStats:
+        """Step until every injected packet is delivered (or the budget
+        runs out); returns the statistics."""
+        for _ in range(max_cycles):
+            if self.stats.delivered == self.stats.injected and not any(
+                self._inject_queues
+            ):
+                break
+            self.step()
+        return self.stats
+
+    def packet_latency(self, packet_id: int) -> Optional[int]:
+        """Latency of a delivered packet, or None if still in flight."""
+        packet = self._packets.get(packet_id)
+        if packet is None or packet.arrival_time is None:
+            return None
+        return packet.arrival_time - packet.inject_time

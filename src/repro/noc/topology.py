@@ -1,0 +1,65 @@
+"""Mesh topology and XY dimension-order routing."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class MeshTopology:
+    """A ``width x height`` mesh of nodes, numbered row-major.
+
+    Node ``n`` sits at ``(x, y) = (n % width, n // width)``. Routing is XY
+    dimension-order (first along X, then along Y), which is deadlock-free
+    and what BookSim's mesh defaults to.
+    """
+
+    def __init__(self, width: int = 2, height: int = 2) -> None:
+        if width < 1 or height < 1:
+            raise ConfigurationError("mesh dimensions must be >= 1")
+        self.width = width
+        self.height = height
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count."""
+        return self.width * self.height
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """(x, y) coordinates of a node id."""
+        if not 0 <= node < self.num_nodes:
+            raise ConfigurationError(f"node {node} outside mesh of {self.num_nodes}")
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        """Node id at (x, y)."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ConfigurationError(f"coords ({x}, {y}) outside mesh")
+        return y * self.width + x
+
+    def route(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        """XY route as a list of directed links ``(from_node, to_node)``.
+
+        An empty list means src == dst (a local delivery with no link
+        traversal).
+        """
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        links: List[Tuple[int, int]] = []
+        x, y = sx, sy
+        while x != dx:
+            nxt = x + (1 if dx > x else -1)
+            links.append((self.node_at(x, y), self.node_at(nxt, y)))
+            x = nxt
+        while y != dy:
+            nxt = y + (1 if dy > y else -1)
+            links.append((self.node_at(x, y), self.node_at(x, nxt)))
+            y = nxt
+        return links
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Manhattan distance between two nodes."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)

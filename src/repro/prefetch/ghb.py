@@ -1,0 +1,164 @@
+"""Global History Buffer prefetcher (Nesbit & Smith, HPCA 2005).
+
+The GHB is a FIFO of recent miss addresses; an index table maps a key — the
+load PC, for *local* delta correlation — to the most recent GHB entry for
+that key, and entries link backwards to the previous entry with the same
+key. On a miss the per-PC address chain is walked, consecutive deltas are
+correlated against the recent history, and the matched delta sequence is
+replayed to produce prefetch candidates; when no pattern is found the
+prefetcher falls back to next-line. The FIFO naturally forgets stale
+history, which is why GHB prefetching beats conventional table prefetchers
+(Section VI-D).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.prefetch.base import Prefetcher
+
+
+class _GHBEntry:
+    """One global-history slot: a miss address and its per-key back link."""
+
+    __slots__ = ("addr", "prev")
+
+    def __init__(self, addr: int, prev: Optional[int]) -> None:
+        self.addr = addr
+        self.prev = prev  # absolute position of the previous same-key entry
+
+
+class GHBPrefetcher(Prefetcher):
+    """GHB PC/DC (local delta correlation) with next-line fallback.
+
+    Sized as in the paper's comparison: 2048 GHB entries and a 2048-entry
+    index table, against the approximator's 512 entries x 4 LHB values.
+    """
+
+    #: How many trailing deltas form the correlation key.
+    CORRELATION_DEPTH = 2
+    #: Maximum chain length walked per miss (hardware walk budget).
+    MAX_CHAIN = 16
+
+    def __init__(
+        self,
+        degree: int,
+        ghb_entries: int = 2048,
+        index_entries: int = 2048,
+        block_bytes: int = 64,
+    ) -> None:
+        super().__init__(degree, block_bytes)
+        if ghb_entries < 4:
+            raise ConfigurationError("GHB needs at least 4 entries")
+        if index_entries < 1:
+            raise ConfigurationError("index table needs at least 1 entry")
+        self.ghb_entries = ghb_entries
+        self.index_entries = index_entries
+        self._ghb: List[_GHBEntry] = []
+        self._head = 0  # absolute position of the next entry to be written
+        self._index: "OrderedDict[int, int]" = OrderedDict()  # key -> abs position
+
+    # ------------------------------------------------------------------ #
+    # History maintenance                                                #
+    # ------------------------------------------------------------------ #
+
+    def _valid(self, position: Optional[int]) -> bool:
+        """Is an absolute GHB position still inside the FIFO window?"""
+        return position is not None and self._head - self.ghb_entries <= position < self._head
+
+    def _push(self, key: int, addr: int) -> None:
+        prev = self._index.get(key)
+        entry = _GHBEntry(addr, prev if self._valid(prev) else None)
+        if len(self._ghb) < self.ghb_entries:
+            self._ghb.append(entry)
+        else:
+            self._ghb[self._head % self.ghb_entries] = entry
+        if key in self._index:
+            self._index.move_to_end(key)
+        elif len(self._index) >= self.index_entries:
+            self._index.popitem(last=False)
+        self._index[key] = self._head
+        self._head += 1
+
+    def _chain(self, key: int) -> List[int]:
+        """Miss addresses for ``key``, newest first, up to MAX_CHAIN."""
+        addrs: List[int] = []
+        position = self._index.get(key)
+        while self._valid(position) and len(addrs) < self.MAX_CHAIN:
+            entry = self._ghb[position % self.ghb_entries]
+            addrs.append(entry.addr)
+            position = entry.prev
+        return addrs
+
+    # ------------------------------------------------------------------ #
+    # Prediction                                                         #
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _deltas(addrs_newest_first: List[int]) -> List[int]:
+        """Deltas between consecutive misses, oldest-to-newest order."""
+        ordered = list(reversed(addrs_newest_first))
+        return [b - a for a, b in zip(ordered, ordered[1:])]
+
+    def _correlate(self, deltas: List[int]) -> Optional[List[int]]:
+        """Find the last earlier occurrence of the trailing delta pair.
+
+        Returns the delta sequence that followed that occurrence, to be
+        replayed as the prefetch pattern, or None when no match exists.
+        """
+        depth = self.CORRELATION_DEPTH
+        if len(deltas) <= depth:
+            return None
+        needle: Tuple[int, ...] = tuple(deltas[-depth:])
+        for start in range(len(deltas) - depth - 1, -1, -1):
+            if tuple(deltas[start : start + depth]) == needle:
+                following = deltas[start + depth :]
+                if following:
+                    return following
+        return None
+
+    def on_miss(self, pc: int, addr: int) -> List[int]:
+        """Record the miss, correlate deltas and emit prefetch candidates."""
+        block = self.block_of(addr)
+        self._push(pc, block)
+        chain = self._chain(pc)
+        deltas = self._deltas(chain)
+
+        candidates: List[int] = []
+        pattern = self._correlate(deltas)
+        if pattern is None and len(deltas) >= 2 and deltas[-1] == deltas[-2] != 0:
+            # Constant stride detected even without a full pair match.
+            pattern = [deltas[-1]]
+        if pattern:
+            next_addr = block
+            while len(candidates) < self.degree:
+                progressed = len(candidates)
+                for delta in pattern:
+                    next_addr += delta
+                    if next_addr != block:
+                        candidates.append(next_addr)
+                    if len(candidates) >= self.degree:
+                        break
+                if len(candidates) == progressed:
+                    # A degenerate pattern (e.g. all-zero deltas from
+                    # repeated misses to one invalidated block) makes no
+                    # forward progress; stop replaying it.
+                    break
+        if not candidates:
+            # Next-line fallback keeps the prefetcher useful on cold,
+            # irregular or degenerate streams, as in the paper's
+            # configuration.
+            candidates = [
+                block + (i + 1) * self.block_bytes for i in range(self.degree)
+            ]
+        return self._record(candidates)
+
+    def reset(self) -> None:
+        """Forget all history and statistics."""
+        self._ghb.clear()
+        self._index.clear()
+        self._head = 0
+        self.stats.triggers = 0
+        self.stats.issued = 0

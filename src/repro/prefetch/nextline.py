@@ -1,0 +1,17 @@
+"""Sequential next-line prefetching (the simplest useful baseline)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.prefetch.base import Prefetcher
+
+
+class NextLinePrefetcher(Prefetcher):
+    """On a miss to block B, prefetch B+1 .. B+degree."""
+
+    def on_miss(self, pc: int, addr: int) -> List[int]:
+        del pc
+        base = self.block_of(addr)
+        candidates = [base + (i + 1) * self.block_bytes for i in range(self.degree)]
+        return self._record(candidates)

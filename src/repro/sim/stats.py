@@ -1,0 +1,89 @@
+"""Metrics collected by the phase-1 (Pin-substitute) simulator.
+
+The design-space exploration is driven by three measurements (Section VI):
+effective misses-per-kilo-instruction (an approximated load counts as a
+hit, since the value is immediately available to the core), the number of
+blocks fetched into the L1 (the first-order energy proxy), and application
+output error (computed by the workloads themselves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+
+@dataclass
+class SimulationStats:
+    """Counters accumulated over one workload run."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    #: Loads to data annotated approximable (hit or miss).
+    approx_loads: int = 0
+    #: True L1 load misses, before any technique intervenes.
+    raw_misses: int = 0
+    #: Misses whose value was served by the approximator (LVA) or exactly
+    #: predicted (idealized LVP) — these count as hits for effective MPKI.
+    covered_misses: int = 0
+    #: Blocks fetched into the L1 (demand fetches + prefetches).
+    fetches: int = 0
+    #: Fetches initiated by a prefetcher rather than a demand miss.
+    prefetch_fetches: int = 0
+    #: Demand fetches skipped thanks to the approximation degree.
+    fetches_avoided: int = 0
+    #: Distinct PCs of loads to approximate data (Figure 12).
+    static_approx_pcs: Set[int] = field(default_factory=set)
+
+    @property
+    def effective_misses(self) -> int:
+        """Misses still exposed to the core after coverage."""
+        return self.raw_misses - self.covered_misses
+
+    @property
+    def mpki(self) -> float:
+        """Effective misses per kilo-instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.effective_misses / self.instructions
+
+    @property
+    def raw_mpki(self) -> float:
+        """True miss MPKI, ignoring coverage (the precise-execution figure)."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.raw_misses / self.instructions
+
+    @property
+    def fetches_per_kilo_instruction(self) -> float:
+        """Blocks fetched into L1 per kilo-instruction (energy proxy)."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.fetches / self.instructions
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of raw misses covered by the technique."""
+        if self.raw_misses == 0:
+            return 0.0
+        return self.covered_misses / self.raw_misses
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict summary for reports."""
+        return {
+            "instructions": self.instructions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "approx_loads": self.approx_loads,
+            "raw_misses": self.raw_misses,
+            "covered_misses": self.covered_misses,
+            "effective_misses": self.effective_misses,
+            "fetches": self.fetches,
+            "prefetch_fetches": self.prefetch_fetches,
+            "fetches_avoided": self.fetches_avoided,
+            "mpki": self.mpki,
+            "raw_mpki": self.raw_mpki,
+            "coverage": self.coverage,
+            "static_approx_pcs": len(self.static_approx_pcs),
+        }

@@ -1,0 +1,171 @@
+"""Load traces for the full-system (phase-2) replay.
+
+The full-system simulator is trace-driven, like the paper's two-phase
+methodology: phase 1 runs the workload functionally and records every
+annotated and precise load with its inter-load instruction gap and thread
+id; phase 2 replays the per-thread streams through the 4-core timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Union
+
+import numpy as np
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class LoadEvent:
+    """One dynamic load in a captured trace.
+
+    Attributes:
+        tid: Thread id (workloads are configured with 4 threads).
+        pc: Instruction address of the load.
+        addr: Byte address of the data.
+        value: The precise value in memory at trace time (used to train the
+            approximator during replay).
+        is_float: Data type of the load (drives confidence gating).
+        approximable: True when the load was annotated approximate.
+        gap: Non-load instructions executed by this thread since its
+            previous load.
+        is_store: True for store events (recorded only when the recorder
+            is created with ``record_stores=True``); stores drive the MSI
+            coherence traffic in the full-system replay.
+    """
+
+    tid: int
+    pc: int
+    addr: int
+    value: Number
+    is_float: bool
+    approximable: bool
+    gap: int
+    is_store: bool = False
+
+
+class Trace:
+    """An ordered collection of :class:`LoadEvent`, with per-thread views."""
+
+    def __init__(self, events: List[LoadEvent] = None) -> None:
+        self.events: List[LoadEvent] = list(events) if events else []
+
+    def append(self, event: LoadEvent) -> None:
+        """Add an event (in global program order)."""
+        self.events.append(event)
+
+    def per_thread(self) -> Dict[int, List[LoadEvent]]:
+        """Split into per-thread streams, preserving order."""
+        streams: Dict[int, List[LoadEvent]] = {}
+        for event in self.events:
+            streams.setdefault(event.tid, []).append(event)
+        return streams
+
+    @property
+    def total_instructions(self) -> int:
+        """Loads plus recorded gaps across all threads."""
+        return len(self.events) + sum(event.gap for event in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[LoadEvent]:
+        return iter(self.events)
+
+    # ------------------------------------------------------------------ #
+    # Persistence                                                        #
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str) -> None:
+        """Serialise to a compressed ``.npz`` file.
+
+        Phase-1 trace capture is the expensive step of the methodology;
+        persisting traces lets phase-2 sweeps (and other machines) replay
+        them without re-running the workload. Values are stored in two
+        columns (float and int) selected by the ``is_float`` flag so both
+        datatypes round-trip exactly.
+        """
+        events = self.events
+        np.savez_compressed(
+            path,
+            tid=np.array([e.tid for e in events], dtype=np.int32),
+            pc=np.array([e.pc for e in events], dtype=np.int64),
+            addr=np.array([e.addr for e in events], dtype=np.int64),
+            value_f=np.array(
+                [e.value if e.is_float else 0.0 for e in events], dtype=np.float64
+            ),
+            value_i=np.array(
+                [0 if e.is_float else int(e.value) for e in events], dtype=np.int64
+            ),
+            is_float=np.array([e.is_float for e in events], dtype=bool),
+            approximable=np.array([e.approximable for e in events], dtype=bool),
+            gap=np.array([e.gap for e in events], dtype=np.int64),
+            is_store=np.array([e.is_store for e in events], dtype=bool),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Deserialise a trace written by :meth:`save`."""
+        data = np.load(path)
+        events = [
+            LoadEvent(
+                tid=int(data["tid"][i]),
+                pc=int(data["pc"][i]),
+                addr=int(data["addr"][i]),
+                value=(
+                    float(data["value_f"][i])
+                    if data["is_float"][i]
+                    else int(data["value_i"][i])
+                ),
+                is_float=bool(data["is_float"][i]),
+                approximable=bool(data["approximable"][i]),
+                gap=int(data["gap"][i]),
+                is_store=bool(data["is_store"][i]) if "is_store" in data else False,
+            )
+            for i in range(len(data["tid"]))
+        ]
+        return cls(events)
+
+
+class TraceRecorder:
+    """Attachable sink that captures LoadEvents from a memory front-end.
+
+    Front-ends call :meth:`on_load` for every load and :meth:`on_advance`
+    for non-load instructions; the recorder tracks per-thread gaps.
+    """
+
+    def __init__(self, record_stores: bool = False) -> None:
+        self.trace = Trace()
+        self.record_stores = record_stores
+        self._gaps: Dict[int, int] = {}
+
+    def on_advance(self, tid: int, instructions: int) -> None:
+        """Accumulate non-load instructions for ``tid``."""
+        self._gaps[tid] = self._gaps.get(tid, 0) + instructions
+
+    def on_store(self, tid: int, addr: int) -> None:
+        """Record one store (only when ``record_stores`` is enabled);
+        otherwise it is folded into the gap by the front-end."""
+        gap = self._gaps.pop(tid, 0)
+        self.trace.append(
+            LoadEvent(
+                tid, 0, addr, 0, is_float=False, approximable=False,
+                gap=gap, is_store=True,
+            )
+        )
+
+    def on_load(
+        self,
+        tid: int,
+        pc: int,
+        addr: int,
+        value: Number,
+        is_float: bool,
+        approximable: bool,
+    ) -> None:
+        """Record one load, consuming the accumulated gap."""
+        gap = self._gaps.pop(tid, 0)
+        self.trace.append(
+            LoadEvent(tid, pc, addr, value, is_float, approximable, gap)
+        )

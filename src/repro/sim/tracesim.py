@@ -1,0 +1,190 @@
+"""The phase-1 trace-driven simulator (Pin + cache-simulator substitute).
+
+Models a private L1 data cache and one of four techniques on its miss
+stream:
+
+* ``PRECISE``  — conventional cache: every miss fetches its block (1:1).
+* ``LVA``     — the load value approximator: approximable misses may be
+  served with generated values, and the approximation degree may cancel
+  the fetch entirely.
+* ``LVP``     — idealized load value prediction: every miss fetches; a miss
+  counts as covered when the actual value appears in the entry's LHB.
+* ``PREFETCH`` — GHB prefetcher: every miss fetches and additionally issues
+  up to ``degree`` prefetches (applied to all data, not just annotated).
+
+The simulator implements :class:`~repro.sim.frontend.MemoryFrontend`, so
+workloads run against it unmodified; with ``LVA`` the values returned to the
+workload are clobbered, which is how output error is measured (Section V-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+from repro.core.approximator import DelayQueue, LoadValueApproximator
+from repro.core.config import ApproximatorConfig
+from repro.core.predictor import IdealizedLoadValuePredictor
+from repro.errors import ConfigurationError
+from repro.mem.cache import CacheConfig, SetAssociativeCache
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.ghb import GHBPrefetcher
+from repro.sim.frontend import MemoryFrontend
+from repro.sim.stats import SimulationStats
+from repro.sim.trace import TraceRecorder
+
+Number = Union[int, float]
+
+#: L1 configuration of the design-space phase: 64 KB private data cache.
+PHASE1_L1 = CacheConfig(size_bytes=64 * 1024, associativity=8, block_bytes=64, latency=1)
+
+
+class Mode(enum.Enum):
+    """Which technique observes the L1 miss stream."""
+
+    PRECISE = "precise"
+    LVA = "lva"
+    LVP = "lvp"
+    PREFETCH = "prefetch"
+
+
+class TraceSimulator(MemoryFrontend):
+    """L1 + technique simulator behind the workload memory interface."""
+
+    def __init__(
+        self,
+        mode: Mode = Mode.PRECISE,
+        approximator_config: Optional[ApproximatorConfig] = None,
+        l1_config: CacheConfig = PHASE1_L1,
+        prefetcher: Optional[Prefetcher] = None,
+        prefetch_degree: int = 4,
+        recorder: Optional[TraceRecorder] = None,
+    ) -> None:
+        super().__init__(recorder=recorder)
+        self.mode = mode
+        self.stats = SimulationStats()
+        self.l1 = SetAssociativeCache(l1_config, name="L1D")
+        self.approximator: Optional[LoadValueApproximator] = None
+        self.predictor: Optional[IdealizedLoadValuePredictor] = None
+        self.prefetcher: Optional[Prefetcher] = None
+        self._delay: Optional[DelayQueue] = None
+
+        config = approximator_config or ApproximatorConfig()
+        if mode is Mode.LVA:
+            self.approximator = LoadValueApproximator(config)
+            self._delay = DelayQueue(config.value_delay)
+        elif mode is Mode.LVP:
+            self.predictor = IdealizedLoadValuePredictor(config)
+            self._delay = DelayQueue(config.value_delay)
+        elif mode is Mode.PREFETCH:
+            self.prefetcher = prefetcher or GHBPrefetcher(
+                degree=prefetch_degree, block_bytes=l1_config.block_bytes
+            )
+        elif mode is not Mode.PRECISE:
+            raise ConfigurationError(f"unknown mode {mode!r}")
+
+    # ------------------------------------------------------------------ #
+    # MemoryFrontend implementation                                       #
+    # ------------------------------------------------------------------ #
+
+    def _serve_load(
+        self, pc: int, addr: int, actual: Number, approximable: bool, is_float: bool
+    ) -> Number:
+        self.stats.loads += 1
+        self.stats.instructions = self.instructions
+        if approximable:
+            self.stats.approx_loads += 1
+            self.stats.static_approx_pcs.add(pc)
+
+        self._tick_value_delay()
+
+        if self.l1.access(addr).hit:
+            return actual
+
+        self.stats.raw_misses += 1
+
+        if self.mode is Mode.PREFETCH:
+            self._fetch(addr)
+            for candidate in self.prefetcher.on_miss(pc, addr):
+                if not self.l1.contains(candidate):
+                    self._fetch(candidate, prefetched=True)
+            return actual
+
+        if self.mode is Mode.LVA and approximable:
+            return self._serve_lva_miss(pc, addr, actual, is_float)
+
+        if self.mode is Mode.LVP and approximable:
+            decision = self.predictor.on_miss(pc, is_float)
+            self._fetch(addr)  # LVP must always validate: 1:1 fetches
+            self._delay.push(decision.token, actual)
+            return actual  # rollbacks restore precision
+
+        self._fetch(addr)
+        return actual
+
+    def _serve_lva_miss(
+        self, pc: int, addr: int, actual: Number, is_float: bool
+    ) -> Number:
+        decision = self.approximator.on_miss(pc, is_float)
+        if decision.fetch:
+            self._fetch(addr)
+            self._delay.push(decision.token, actual)
+        else:
+            self.stats.fetches_avoided += 1
+        if decision.approximated:
+            self.stats.covered_misses += 1
+            return decision.value
+        return actual
+
+    def _serve_store(self, addr: int) -> None:
+        self.stats.stores += 1
+        # Write-no-allocate: a store miss goes straight to the next level
+        # (store misses are off the critical path, Section V-A) and does not
+        # fetch a block; a store hit just dirties the resident block.
+        if self.l1.contains(addr):
+            self.l1.access(addr, is_write=True)
+
+    def _serve_store_streaming(self, addr: int) -> None:
+        self.stats.stores += 1
+        # Non-temporal/DMA write: the cached copy (if any) is stale now.
+        self.l1.invalidate(addr)
+
+    # ------------------------------------------------------------------ #
+    # Internals                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _tick_value_delay(self) -> None:
+        if self._delay is None:
+            return
+        for token, actual in self._delay.tick():
+            self._train(token, actual)
+
+    def _train(self, token, actual: Number) -> None:
+        if self.mode is Mode.LVA:
+            self.approximator.train(token, actual)
+        else:  # LVP: correctness is resolved when the block arrives
+            if self.predictor.train(token, actual):
+                self.stats.covered_misses += 1
+
+    def _fetch(self, addr: int, prefetched: bool = False) -> None:
+        self.stats.fetches += 1
+        if prefetched:
+            self.stats.prefetch_fetches += 1
+        self.l1.fill(addr, prefetched=prefetched)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    def finish(self) -> SimulationStats:
+        """Flush in-flight trainings and return the final statistics.
+
+        Must be called once after the workload completes; pending
+        value-delayed trainings are applied so LVP coverage and LVA
+        confidence are fully accounted.
+        """
+        if self._delay is not None:
+            for token, actual in self._delay.drain():
+                self._train(token, actual)
+        self.stats.instructions = self.instructions
+        return self.stats

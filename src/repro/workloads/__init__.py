@@ -1,0 +1,47 @@
+"""PARSEC-substitute workloads (Section IV).
+
+Each module implements the algorithm of the corresponding PARSEC benchmark
+at reduced input scale, issues its annotated loads through the simulated
+memory front-end (so return values can be clobbered with approximations,
+exactly like the paper's Pin methodology), and provides the paper's
+per-benchmark output-error metric.
+
+Benchmarks and their annotated data (Section IV-A):
+
+==============  ======  =====================================================
+blackscholes    float   option input parameters (highly redundant values)
+bodytrack       int     image-map pixel values in the likelihood computation
+canneal         int     block <x, y> positions inside the cost functions
+ferret          float   image-segment feature vectors
+fluidanimate    float   particle state during density/acceleration phases
+swaptions       float   forward-rate curve inputs
+x264            int     reference-frame pixels during motion estimation
+==============  ======  =====================================================
+"""
+
+from repro.workloads.base import PCTable, Workload, run_precise, run_with_frontend
+from repro.workloads.blackscholes import Blackscholes
+from repro.workloads.bodytrack import Bodytrack
+from repro.workloads.canneal import Canneal
+from repro.workloads.ferret import Ferret
+from repro.workloads.fluidanimate import Fluidanimate
+from repro.workloads.registry import WORKLOADS, get_workload, workload_names
+from repro.workloads.swaptions import Swaptions
+from repro.workloads.x264 import X264
+
+__all__ = [
+    "Blackscholes",
+    "Bodytrack",
+    "Canneal",
+    "Ferret",
+    "Fluidanimate",
+    "PCTable",
+    "Swaptions",
+    "WORKLOADS",
+    "Workload",
+    "X264",
+    "get_workload",
+    "run_precise",
+    "run_with_frontend",
+    "workload_names",
+]

@@ -1,0 +1,129 @@
+"""Workload abstraction shared by the seven benchmarks.
+
+A workload is a deterministic program parameterised by a seed: it builds
+its input data, stores it into the simulated address space, runs the
+algorithm issuing loads through a :class:`~repro.sim.frontend.MemoryFrontend`
+and returns an output object. Running the same workload against
+:class:`~repro.sim.frontend.PreciseMemory` and against a
+:class:`~repro.sim.tracesim.TraceSimulator` in LVA mode yields the precise
+and approximate outputs whose distance is the paper's *output error*.
+
+Workloads spread their iterations across four logical threads
+(``mem.set_thread``), matching the paper's 4-thread PARSEC configuration
+and enabling the full-system trace replay.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sim.frontend import MemoryFrontend, PreciseMemory
+
+
+class PCTable:
+    """Stable synthetic instruction addresses for load sites.
+
+    Each distinct site name receives a unique, deterministic PC. Sites are
+    numbered in first-use order, which is deterministic because workloads
+    are deterministic; the workload id keeps PCs disjoint across
+    benchmarks (they never share an approximator anyway, but disjoint PCs
+    keep traces unambiguous).
+    """
+
+    def __init__(self, workload_id: int) -> None:
+        self._base = (workload_id & 0xFF) << 20
+        self._sites: Dict[str, int] = {}
+
+    def site(self, name: str) -> int:
+        """The PC for load site ``name`` (allocated on first use)."""
+        pc = self._sites.get(name)
+        if pc is None:
+            pc = self._base | (len(self._sites) << 2)
+            self._sites[name] = pc
+        return pc
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+
+class Workload(abc.ABC):
+    """One benchmark: build input, run, and score output error."""
+
+    #: Benchmark name as used in the paper's figures.
+    name: str = "workload"
+    #: Whether the annotated (approximable) data is floating point.
+    float_data: bool = True
+    #: Stable small integer distinguishing this workload's PCs.
+    workload_id: int = 0
+    #: Number of logical threads iterations are spread across.
+    threads: int = 4
+
+    def __init__(self, params: Optional[dict] = None) -> None:
+        merged = dict(self.default_params())
+        if params:
+            unknown = set(params) - set(merged)
+            if unknown:
+                raise WorkloadError(
+                    f"{self.name}: unknown parameters {sorted(unknown)}"
+                )
+            merged.update(params)
+        self.params = merged
+        self.pcs = PCTable(self.workload_id)
+
+    # ------------------------------------------------------------------ #
+    # Contract                                                           #
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def default_params(self) -> dict:
+        """Input-scale parameters for the evaluation runs."""
+
+    @classmethod
+    def small(cls) -> "Workload":
+        """A reduced instance for fast tests."""
+        return cls(cls.small_params())
+
+    @staticmethod
+    def small_params() -> dict:
+        """Parameter overrides for :meth:`small`; subclasses shrink here."""
+        return {}
+
+    @abc.abstractmethod
+    def run(self, mem: MemoryFrontend, rng: np.random.Generator) -> object:
+        """Execute the benchmark against ``mem``; returns the output object.
+
+        Implementations must draw randomness only from ``rng`` and in an
+        order independent of loaded values, so a precise and an approximate
+        run see identical random streams and differ only through
+        approximated values.
+        """
+
+    @abc.abstractmethod
+    def output_error(self, precise: object, approx: object) -> float:
+        """The paper's per-benchmark output-error metric, in [0, 1]."""
+
+    # ------------------------------------------------------------------ #
+    # Conveniences                                                       #
+    # ------------------------------------------------------------------ #
+
+    def execute(self, mem: MemoryFrontend, seed: int = 0) -> object:
+        """Run with a fresh seeded generator (the standard entry point)."""
+        return self.run(mem, np.random.default_rng(seed))
+
+
+def run_precise(workload: Workload, seed: int = 0) -> Tuple[object, int]:
+    """Run against :class:`PreciseMemory`; returns (output, instructions)."""
+    mem = PreciseMemory()
+    output = workload.execute(mem, seed)
+    return output, mem.instructions
+
+
+def run_with_frontend(
+    workload: Workload, mem: MemoryFrontend, seed: int = 0
+) -> object:
+    """Run against an arbitrary front-end (helper mirroring run_precise)."""
+    return workload.execute(mem, seed)

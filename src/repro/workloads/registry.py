@@ -1,0 +1,56 @@
+"""Registry mapping benchmark names to workload classes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.blackscholes import Blackscholes
+from repro.workloads.bodytrack import Bodytrack
+from repro.workloads.canneal import Canneal
+from repro.workloads.ferret import Ferret
+from repro.workloads.fluidanimate import Fluidanimate
+from repro.workloads.swaptions import Swaptions
+from repro.workloads.x264 import X264
+
+#: Every benchmark of the paper's evaluation, in its figure order.
+WORKLOADS: Dict[str, Type[Workload]] = {
+    "blackscholes": Blackscholes,
+    "bodytrack": Bodytrack,
+    "canneal": Canneal,
+    "ferret": Ferret,
+    "fluidanimate": Fluidanimate,
+    "swaptions": Swaptions,
+    "x264": X264,
+}
+
+
+def workload_names() -> List[str]:
+    """Benchmark names in canonical (paper) order."""
+    return list(WORKLOADS)
+
+
+def get_workload(
+    name: str, params: Optional[dict] = None, small: bool = False
+) -> Workload:
+    """Instantiate a benchmark by name.
+
+    Args:
+        name: One of :func:`workload_names`.
+        params: Parameter overrides applied on top of the defaults (or, with
+            ``small=True``, on top of the reduced test-scale parameters).
+        small: Use the reduced instance intended for fast tests.
+    """
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {', '.join(WORKLOADS)}"
+        )
+    if small:
+        merged = dict(cls.small_params())
+        if params:
+            merged.update(params)
+        return cls(merged)
+    return cls(params)

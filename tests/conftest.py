@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ApproximatorConfig
+from repro.sim.tracesim import Mode, TraceSimulator
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests needing randomness."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def baseline_config() -> ApproximatorConfig:
+    """The Table II baseline approximator configuration."""
+    return ApproximatorConfig()
+
+
+@pytest.fixture
+def lva_sim() -> TraceSimulator:
+    """A phase-1 simulator in LVA mode with baseline settings."""
+    return TraceSimulator(Mode.LVA)
+
+
+@pytest.fixture
+def precise_sim() -> TraceSimulator:
+    """A phase-1 simulator with no technique (precise execution)."""
+    return TraceSimulator(Mode.PRECISE)

@@ -1,0 +1,101 @@
+"""Tests for saturating counters and the relaxed confidence window."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.confidence import SaturatingCounter, within_window
+from repro.errors import ConfigurationError
+
+
+class TestSaturatingCounter:
+    def test_baseline_range_is_minus8_to_7(self):
+        counter = SaturatingCounter(bits=4)
+        assert counter.minimum == -8
+        assert counter.maximum == 7
+
+    def test_starts_confident_at_zero(self):
+        assert SaturatingCounter().is_confident
+
+    def test_increment_saturates_at_max(self):
+        counter = SaturatingCounter(bits=4, initial=7)
+        assert counter.increment() == 7
+
+    def test_decrement_saturates_at_min(self):
+        counter = SaturatingCounter(bits=4, initial=-8)
+        assert counter.decrement() == -8
+
+    def test_confidence_threshold_is_zero(self):
+        counter = SaturatingCounter(initial=0)
+        assert counter.is_confident
+        counter.decrement()
+        assert not counter.is_confident
+        counter.increment()
+        assert counter.is_confident
+
+    def test_reset_clamps_into_range(self):
+        counter = SaturatingCounter(bits=4)
+        counter.reset(100)
+        assert counter.value == 7
+        counter.reset(-100)
+        assert counter.value == -8
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SaturatingCounter(bits=0)
+
+    def test_initial_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SaturatingCounter(bits=4, initial=8)
+
+    @given(st.lists(st.booleans(), max_size=100), st.integers(2, 8))
+    def test_value_always_in_range(self, moves, bits):
+        counter = SaturatingCounter(bits=bits)
+        for up in moves:
+            counter.increment() if up else counter.decrement()
+            assert counter.minimum <= counter.value <= counter.maximum
+
+
+class TestWithinWindow:
+    def test_zero_window_requires_exact_match(self):
+        assert within_window(1.0, 1.0, 0.0)
+        assert not within_window(1.0, 1.0000001, 0.0)
+
+    def test_ten_percent_window(self):
+        assert within_window(95.0, 100.0, 0.10)
+        assert within_window(110.0, 100.0, 0.10)
+        assert not within_window(111.0, 100.0, 0.10)
+
+    def test_window_is_relative_to_actual(self):
+        # 10 is within 10% of 9.5? |10-9.5| = 0.5 <= 0.95 yes.
+        assert within_window(10.0, 9.5, 0.10)
+        # but 10 vs 9.0: 1.0 > 0.9 -> no
+        assert not within_window(10.0, 9.0, 0.10)
+
+    def test_infinite_window_accepts_anything(self):
+        assert within_window(1e30, -5.0, math.inf)
+        assert within_window(float("nan"), 0.0, math.inf)
+
+    def test_negative_actual(self):
+        assert within_window(-95.0, -100.0, 0.10)
+        assert not within_window(95.0, -100.0, 0.10)
+
+    def test_zero_actual_falls_back_to_absolute(self):
+        assert within_window(0.05, 0.0, 0.10)
+        assert not within_window(0.2, 0.0, 0.10)
+
+    def test_integers_work(self):
+        assert within_window(99, 100, 0.10)
+        assert not within_window(50, 100, 0.10)
+
+    @given(st.floats(-1e9, 1e9), st.floats(0.001, 10))
+    def test_actual_always_within_its_own_window(self, actual, window):
+        assert within_window(actual, actual, window)
+
+    @given(st.floats(-1e6, 1e6), st.floats(-1e6, 1e6))
+    def test_symmetric_in_sign_flip(self, approx, actual):
+        assert within_window(approx, actual, 0.1) == within_window(
+            -approx, -actual, 0.1
+        )

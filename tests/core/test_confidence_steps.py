@@ -1,0 +1,101 @@
+"""Tests for variable-step confidence updates (Section III-B future work)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.approximator import LoadValueApproximator
+from repro.core.config import ApproximatorConfig
+from repro.core.confidence import SaturatingCounter, confidence_update_steps
+from repro.errors import ConfigurationError
+
+
+class TestStepFunction:
+    def test_baseline_step_is_plus_minus_one(self):
+        assert confidence_update_steps(100.0, 100.0, 0.10, 1) == 1
+        assert confidence_update_steps(95.0, 100.0, 0.10, 1) == 1
+        assert confidence_update_steps(50.0, 100.0, 0.10, 1) == -1
+
+    def test_perfect_approximation_earns_full_step(self):
+        assert confidence_update_steps(100.0, 100.0, 0.10, 4) == 4
+
+    def test_window_edge_earns_minimum_step(self):
+        assert confidence_update_steps(90.0, 100.0, 0.10, 4) == 1
+
+    def test_large_miss_costs_large_step(self):
+        # 50 off on a 10-cycle window: ratio 5 -> capped at step_max.
+        assert confidence_update_steps(50.0, 100.0, 0.10, 4) == -4
+
+    def test_slight_miss_costs_small_step(self):
+        # 12% off with a 10% window: ratio 1.2 -> -1.
+        assert confidence_update_steps(88.0, 100.0, 0.10, 4) == -1
+
+    def test_infinite_window_always_full_increment(self):
+        assert confidence_update_steps(1e9, 1.0, math.inf, 4) == 4
+
+    def test_zero_window_is_binary(self):
+        assert confidence_update_steps(5.0, 5.0, 0.0, 3) == 3
+        assert confidence_update_steps(5.0, 5.1, 0.0, 3) == -3
+
+    def test_zero_actual_uses_absolute_window(self):
+        assert confidence_update_steps(0.0, 0.0, 0.10, 2) == 2
+        assert confidence_update_steps(5.0, 0.0, 0.10, 2) == -2
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            confidence_update_steps(1.0, 1.0, 0.10, 0)
+
+    @given(
+        st.floats(-1e6, 1e6, allow_nan=False),
+        st.floats(-1e6, 1e6, allow_nan=False),
+        st.integers(1, 8),
+    )
+    def test_magnitude_bounded_by_step_max(self, approx, actual, step_max):
+        steps = confidence_update_steps(approx, actual, 0.10, step_max)
+        assert 1 <= abs(steps) <= step_max
+
+    @given(st.floats(0.1, 1e6), st.integers(1, 8))
+    def test_sign_matches_window_membership(self, actual, step_max):
+        inside = confidence_update_steps(actual, actual, 0.10, step_max)
+        outside = confidence_update_steps(actual * 2, actual, 0.10, step_max)
+        assert inside > 0
+        assert outside < 0
+
+
+class TestCounterAdd:
+    def test_add_positive_saturates(self):
+        counter = SaturatingCounter(bits=4, initial=6)
+        assert counter.add(5) == 7
+
+    def test_add_negative_saturates(self):
+        counter = SaturatingCounter(bits=4, initial=-6)
+        assert counter.add(-5) == -8
+
+    def test_add_zero_is_noop(self):
+        counter = SaturatingCounter(bits=4, initial=3)
+        assert counter.add(0) == 3
+
+
+class TestApproximatorIntegration:
+    def test_larger_steps_recover_confidence_faster(self):
+        """After a bad phase, step_max=4 re-enables approximation sooner."""
+
+        def misses_to_recover(step_max: int) -> int:
+            config = ApproximatorConfig(confidence_step_max=step_max)
+            approx = LoadValueApproximator(config)
+            # Establish the entry, then destroy confidence.
+            for value in [1.0] + [1.0, 100.0] * 6:
+                decision = approx.on_miss(0x400, True)
+                if decision.token is not None:
+                    approx.train(decision.token, value)
+            # Stable phase: count misses until approximations resume.
+            for count in range(1, 50):
+                decision = approx.on_miss(0x400, True)
+                if decision.approximated:
+                    return count
+                approx.train(decision.token, 50.0)
+            return 50
+
+        assert misses_to_recover(4) < misses_to_recover(1)

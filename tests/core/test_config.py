@@ -1,0 +1,85 @@
+"""Tests for the approximator configuration (Table II baseline)."""
+
+import math
+
+import pytest
+
+from repro.core.config import BASELINE_CONFIG, INFINITE_WINDOW, ApproximatorConfig
+from repro.errors import ConfigurationError
+
+
+class TestBaseline:
+    """The defaults must reproduce the paper's Table II exactly."""
+
+    def test_table_ii_values(self):
+        cfg = BASELINE_CONFIG
+        assert cfg.table_entries == 512
+        assert cfg.confidence_bits == 4
+        assert cfg.confidence_min == -8
+        assert cfg.confidence_max == 7
+        assert cfg.confidence_window == pytest.approx(0.10)
+        assert cfg.ghb_size == 0
+        assert cfg.lhb_size == 4
+        assert cfg.tag_bits == 21
+        assert cfg.value_delay == 4
+        assert cfg.approximation_degree == 0
+        assert cfg.compute_fn == "average"
+
+    def test_integer_confidence_disabled_by_default(self):
+        assert not BASELINE_CONFIG.apply_confidence_to_ints
+        assert BASELINE_CONFIG.apply_confidence_to_floats
+
+    def test_index_bits(self):
+        assert BASELINE_CONFIG.index_bits == 9
+
+    def test_storage_estimate_matches_section_vii(self):
+        # ~18 KB with 64-bit LHB values, ~10 KB with 32-bit values.
+        kb64 = BASELINE_CONFIG.storage_bits(64) / 8 / 1024
+        kb32 = BASELINE_CONFIG.storage_bits(32) / 8 / 1024
+        assert 16 < kb64 < 20
+        assert 9 < kb32 < 12
+
+
+class TestValidation:
+    @pytest.mark.parametrize("entries", [0, 3, 500, -512])
+    def test_non_power_of_two_table_rejected(self, entries):
+        with pytest.raises(ConfigurationError):
+            ApproximatorConfig(table_entries=entries)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ApproximatorConfig(confidence_window=-0.1)
+
+    def test_infinite_window_accepted(self):
+        cfg = ApproximatorConfig(confidence_window=INFINITE_WINDOW)
+        assert math.isinf(cfg.confidence_window)
+
+    def test_zero_lhb_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ApproximatorConfig(lhb_size=0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ApproximatorConfig(value_delay=-1)
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ApproximatorConfig(approximation_degree=-1)
+
+    def test_mantissa_drop_bounded(self):
+        with pytest.raises(ConfigurationError):
+            ApproximatorConfig(mantissa_drop_bits=24)
+        ApproximatorConfig(mantissa_drop_bits=23)  # boundary OK
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_config(self):
+        base = ApproximatorConfig()
+        derived = base.with_overrides(ghb_size=4, approximation_degree=8)
+        assert derived.ghb_size == 4
+        assert derived.approximation_degree == 8
+        assert base.ghb_size == 0  # original untouched
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            BASELINE_CONFIG.ghb_size = 2  # type: ignore[misc]

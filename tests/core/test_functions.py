@@ -1,0 +1,76 @@
+"""Tests for the LHB computation functions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.functions import (
+    COMPUTE_FUNCTIONS,
+    average,
+    compute_approximation,
+    last_delta,
+    last_value,
+    stride,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFunctions:
+    def test_average(self):
+        assert average([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_last_value(self):
+        assert last_value([1, 2, 9]) == 9.0
+
+    def test_stride_extrapolates_mean_delta(self):
+        assert stride([1.0, 2.0, 3.0]) == 4.0
+
+    def test_stride_single_value_degenerates_to_last(self):
+        assert stride([7.0]) == 7.0
+
+    def test_last_delta(self):
+        assert last_delta([1.0, 5.0, 6.0]) == 7.0
+
+    def test_last_delta_single_value(self):
+        assert last_delta([3.0]) == 3.0
+
+    def test_registry_contains_paper_baseline(self):
+        assert "average" in COMPUTE_FUNCTIONS
+        assert set(COMPUTE_FUNCTIONS) >= {"average", "last", "stride", "delta"}
+
+
+class TestComputeApproximation:
+    def test_float_returns_float_average(self):
+        assert compute_approximation([1.0, 2.0], "average", is_float=True) == 1.5
+
+    def test_int_rounds_to_nearest(self):
+        result = compute_approximation([1, 2], "average", is_float=False)
+        assert isinstance(result, int)
+        assert result == 2  # 1.5 rounds to 2
+
+    def test_int_average_stays_in_value_range(self):
+        # Pixels: averaging bounded ints can never leave the range —
+        # Section VI-B's explanation of why integers approximate well.
+        values = [0, 255, 128, 64]
+        result = compute_approximation(values, "average", is_float=False)
+        assert min(values) <= result <= max(values)
+
+    def test_empty_lhb_rejected(self):
+        with pytest.raises(ValueError):
+            compute_approximation([], "average")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compute_approximation([1.0], "median-of-medians")
+
+    @given(st.lists(st.floats(-1e9, 1e9), min_size=1, max_size=8))
+    def test_average_within_bounds(self, values):
+        result = compute_approximation(values, "average", is_float=True)
+        assert min(values) - 1e-6 <= result <= max(values) + 1e-6
+
+    @given(
+        st.lists(st.integers(-1000, 1000), min_size=1, max_size=8),
+        st.sampled_from(sorted(COMPUTE_FUNCTIONS)),
+    )
+    def test_int_results_are_ints(self, values, fn):
+        assert isinstance(compute_approximation(values, fn, is_float=False), int)

@@ -1,0 +1,118 @@
+"""Tests for the context hash and float quantization (Section VII-B)."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.hashing import context_hash, quantize_float, value_to_bits
+
+
+class TestQuantizeFloat:
+    def test_zero_drop_returns_value(self):
+        assert quantize_float(1.5, 0) == 1.5
+
+    def test_full_mantissa_drop_keeps_sign_and_exponent(self):
+        quantized = quantize_float(1.999, 23)
+        assert quantized == 1.0  # 1.999 -> exponent of 1.0, mantissa zeroed
+
+    def test_drop_merges_close_values(self):
+        a = quantize_float(1.0001, 15)
+        b = quantize_float(1.0002, 15)
+        assert a == b
+
+    def test_negative_values_keep_sign(self):
+        assert quantize_float(-3.7, 23) == -2.0
+
+    def test_nan_passes_through(self):
+        assert math.isnan(quantize_float(float("nan"), 10))
+
+    def test_infinity_passes_through(self):
+        assert quantize_float(math.inf, 10) == math.inf
+
+    @given(st.floats(-1e30, 1e30, allow_nan=False), st.integers(0, 23))
+    def test_idempotent(self, value, bits):
+        once = quantize_float(value, bits)
+        assert quantize_float(once, bits) == once
+
+    @given(st.floats(min_value=1e-30, max_value=1e30), st.integers(1, 23))
+    def test_magnitude_never_increases(self, value, bits):
+        # Clearing mantissa bits can only round magnitude towards zero
+        # (relative to the single-precision rounding of the input).
+        assert abs(quantize_float(value, bits)) <= abs(
+            struct.unpack("<f", struct.pack("<f", value))[0]
+        )
+
+
+class TestValueToBits:
+    def test_int_is_its_own_pattern(self):
+        assert value_to_bits(42) == 42
+
+    def test_negative_int_uses_twos_complement(self):
+        assert value_to_bits(-1) == (1 << 64) - 1
+
+    def test_bool_coerces_to_int(self):
+        assert value_to_bits(True) == 1
+
+    def test_float_uses_float32_pattern(self):
+        expected = struct.unpack("<I", struct.pack("<f", 1.5))[0]
+        assert value_to_bits(1.5) == expected
+
+    def test_mantissa_drop_changes_pattern(self):
+        assert value_to_bits(1.0001, 0) != value_to_bits(1.0001, 23)
+
+    def test_close_floats_merge_after_drop(self):
+        assert value_to_bits(1.0001, 15) == value_to_bits(1.0002, 15)
+
+    def test_nan_has_canonical_pattern(self):
+        assert value_to_bits(float("nan")) == 0x7FC00000
+
+    def test_float_overflow_maps_to_inf_pattern(self):
+        assert value_to_bits(1e300) == 0x7F800000
+        assert value_to_bits(-1e300) == 0xFF800000
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_ints_fit_64_bits(self, value):
+        assert 0 <= value_to_bits(value) < (1 << 64)
+
+
+class TestContextHash:
+    def test_deterministic(self):
+        a = context_hash(0x400, [1.0, 2.0], 9, 21)
+        b = context_hash(0x400, [1.0, 2.0], 9, 21)
+        assert a == b
+
+    def test_index_in_range(self):
+        index, tag = context_hash(0x1234, [3.5], 9, 21)
+        assert 0 <= index < 512
+        assert 0 <= tag < (1 << 21)
+
+    def test_different_pcs_usually_differ(self):
+        pairs = {context_hash(pc, [], 9, 21) for pc in range(0, 400, 4)}
+        assert len(pairs) > 90  # near-perfect separation for 100 PCs
+
+    def test_ghb_values_affect_hash(self):
+        a = context_hash(0x400, [1.0], 9, 21)
+        b = context_hash(0x400, [2.0], 9, 21)
+        assert a != b
+
+    def test_mantissa_drop_merges_contexts(self):
+        a = context_hash(0x400, [1.0001], 9, 21, mantissa_drop_bits=20)
+        b = context_hash(0x400, [1.0002], 9, 21, mantissa_drop_bits=20)
+        assert a == b
+
+    def test_empty_ghb_is_pc_only(self):
+        assert context_hash(0x400, [], 9, 21) == context_hash(0x400, (), 9, 21)
+
+    @given(
+        st.integers(0, 2**40),
+        st.lists(st.floats(-1e6, 1e6, allow_nan=False), max_size=4),
+        st.integers(1, 12),
+        st.integers(4, 24),
+    )
+    def test_outputs_always_in_range(self, pc, ghb, index_bits, tag_bits):
+        index, tag = context_hash(pc, ghb, index_bits, tag_bits)
+        assert 0 <= index < (1 << index_bits)
+        assert 0 <= tag < (1 << tag_bits)

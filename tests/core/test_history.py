@@ -1,0 +1,97 @@
+"""Unit and property tests for the GHB/LHB FIFO buffers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.history import HistoryBuffer
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_empty_buffer_is_falsy(self):
+        assert not HistoryBuffer(4)
+
+    def test_push_and_values_order_oldest_first(self):
+        buf = HistoryBuffer(3)
+        for v in (1, 2, 3):
+            buf.push(v)
+        assert buf.values() == (1, 2, 3)
+
+    def test_overflow_evicts_oldest(self):
+        buf = HistoryBuffer(3, initial=[1, 2, 3])
+        buf.push(4)
+        assert buf.values() == (2, 3, 4)
+
+    def test_newest_returns_last_pushed(self):
+        buf = HistoryBuffer(2, initial=[5.5])
+        assert buf.newest() == 5.5
+        buf.push(7.7)
+        assert buf.newest() == 7.7
+
+    def test_newest_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            HistoryBuffer(2).newest()
+
+    def test_clear_empties(self):
+        buf = HistoryBuffer(2, initial=[1, 2])
+        buf.clear()
+        assert len(buf) == 0
+        assert buf.values() == ()
+
+    def test_is_full(self):
+        buf = HistoryBuffer(2)
+        assert not buf.is_full
+        buf.push(1)
+        assert not buf.is_full
+        buf.push(2)
+        assert buf.is_full
+
+    def test_iteration_matches_values(self):
+        buf = HistoryBuffer(4, initial=[3, 1, 4])
+        assert list(buf) == [3, 1, 4]
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HistoryBuffer(-1)
+
+
+class TestZeroCapacity:
+    """The baseline GHB has zero entries and must be a permanent no-op."""
+
+    def test_push_is_noop(self):
+        buf = HistoryBuffer(0)
+        buf.push(42)
+        assert len(buf) == 0
+        assert buf.values() == ()
+
+    def test_zero_capacity_never_full_of_content(self):
+        buf = HistoryBuffer(0)
+        for v in range(10):
+            buf.push(v)
+        assert not buf
+        assert buf.is_full  # vacuously holds capacity == len == 0
+
+
+class TestProperties:
+    @given(st.lists(st.integers(), max_size=50), st.integers(1, 8))
+    def test_length_never_exceeds_capacity(self, values, capacity):
+        buf = HistoryBuffer(capacity)
+        for v in values:
+            buf.push(v)
+            assert len(buf) <= capacity
+
+    @given(st.lists(st.floats(allow_nan=False), min_size=1, max_size=50),
+           st.integers(1, 8))
+    def test_contents_are_last_capacity_pushes(self, values, capacity):
+        buf = HistoryBuffer(capacity)
+        for v in values:
+            buf.push(v)
+        assert buf.values() == tuple(values[-capacity:])
+
+    @given(st.lists(st.integers(), min_size=1, max_size=30))
+    def test_newest_always_last_push(self, values):
+        buf = HistoryBuffer(4)
+        for v in values:
+            buf.push(v)
+            assert buf.newest() == v

@@ -1,0 +1,138 @@
+"""Tests for the out-of-order core timing model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.core import CoreConfig, CoreTimingModel
+from repro.errors import ConfigurationError
+
+
+class TestThroughput:
+    def test_width_limited_ipc(self):
+        core = CoreTimingModel(CoreConfig(width=4))
+        core.advance(400)
+        assert core.finish() == pytest.approx(100.0)
+
+    def test_hit_loads_cost_issue_slot_only(self):
+        core = CoreTimingModel(CoreConfig(width=4))
+        for _ in range(8):
+            core.issue_load(0)
+        assert core.finish() == pytest.approx(2.0)
+
+
+class TestMissOverlap:
+    def test_single_miss_fully_exposed_when_no_work(self):
+        core = CoreTimingModel()
+        core.issue_load(100)
+        assert core.finish() == pytest.approx(100.25)
+
+    def test_miss_latency_hidden_by_following_work(self):
+        # ROB of 32 lets up to 32 instructions slide past the miss... but
+        # the core still waits for the miss at finish().
+        core = CoreTimingModel(CoreConfig(width=4, rob_entries=32))
+        core.issue_load(20)
+        core.advance(200)
+        # The first 32 instrs overlap with the miss; once the window fills the
+        # core stalls until cycle ~20, then runs the rest.
+        total = core.finish()
+        assert total < 0.25 + 20 + 200 / 4  # strictly better than serial
+        assert total >= 200 / 4  # cannot beat pure compute throughput
+
+    def test_rob_stall_on_back_to_back_misses(self):
+        core = CoreTimingModel(CoreConfig(width=4, rob_entries=4))
+        for _ in range(8):
+            core.issue_load(100)
+        # With a 4-entry window, misses resolve in waves; far more than one
+        # latency must be exposed.
+        assert core.finish() > 150
+
+    def test_two_misses_overlap_within_window(self):
+        core = CoreTimingModel(CoreConfig(width=4, rob_entries=32))
+        core.issue_load(100)
+        core.issue_load(100)
+        # Both fit in the window: total ~ 100, not 200.
+        assert core.finish() < 110
+
+    def test_nonblocking_load_never_stalls(self):
+        core = CoreTimingModel()
+        for _ in range(100):
+            core.issue_load(500, blocking=False)
+        assert core.finish() == pytest.approx(25.0)
+
+    def test_stall_cycles_recorded(self):
+        core = CoreTimingModel(CoreConfig(width=4, rob_entries=4))
+        core.issue_load(100)
+        core.advance(100)
+        core.finish()
+        assert core.stats.stall_cycles > 0
+
+
+class TestStats:
+    def test_instruction_count(self):
+        core = CoreTimingModel()
+        core.advance(10)
+        core.issue_load(5)
+        core.issue_load(0)
+        assert core.stats.instructions == 12
+
+    def test_average_miss_latency(self):
+        core = CoreTimingModel()
+        core.issue_load(100)
+        core.issue_load(50)
+        assert core.stats.average_miss_latency == pytest.approx(75.0)
+
+    def test_hits_not_counted_as_misses(self):
+        core = CoreTimingModel()
+        core.issue_load(0)
+        assert core.stats.load_misses == 0
+
+    def test_reset(self):
+        core = CoreTimingModel()
+        core.issue_load(100)
+        core.reset()
+        assert core.clock == 0
+        assert core.stats.instructions == 0
+
+
+class TestValidation:
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(width=0)
+
+    def test_zero_rob_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(rob_entries=0)
+
+
+class TestProperties:
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 50)), max_size=60))
+    def test_clock_monotonic(self, events):
+        core = CoreTimingModel()
+        previous = 0.0
+        for is_load, amount in events:
+            if is_load:
+                core.issue_load(amount)
+            else:
+                core.advance(amount)
+            assert core.clock >= previous
+            previous = core.clock
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=40))
+    def test_blocking_never_faster_than_nonblocking(self, latencies):
+        blocking = CoreTimingModel()
+        nonblocking = CoreTimingModel()
+        for latency in latencies:
+            blocking.issue_load(latency)
+            nonblocking.issue_load(latency, blocking=False)
+        assert blocking.finish() >= nonblocking.finish()
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(1, 60), min_size=1, max_size=30))
+    def test_total_at_least_issue_time(self, latencies):
+        core = CoreTimingModel(CoreConfig(width=4))
+        for latency in latencies:
+            core.issue_load(latency)
+        assert core.finish() >= len(latencies) / 4

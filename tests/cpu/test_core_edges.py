@@ -1,0 +1,75 @@
+"""Edge-condition tests for the core timing model."""
+
+import pytest
+
+from repro.cpu.core import CoreConfig, CoreTimingModel
+
+
+class TestAdvanceChunking:
+    def test_advance_zero_is_noop(self):
+        core = CoreTimingModel()
+        core.advance(0)
+        assert core.clock == 0.0
+        assert core.stats.instructions == 0
+
+    def test_advance_negative_is_noop(self):
+        core = CoreTimingModel()
+        core.advance(-5)
+        assert core.clock == 0.0
+
+    def test_long_advance_stalls_midstream_behind_miss(self):
+        """A miss must stall the window partway through a long slug of
+        work, not let the whole slug slide past."""
+        core = CoreTimingModel(CoreConfig(width=4, rob_entries=8))
+        core.issue_load(1000)
+        core.advance(10_000)
+        # The ROB admits only 8 instructions before waiting at cycle ~1000;
+        # total = stall + remaining compute.
+        total = core.finish()
+        assert total >= 1000 + (10_000 - 8) / 4 - 1
+
+    def test_work_after_miss_completion_not_stalled(self):
+        core = CoreTimingModel(CoreConfig(width=4, rob_entries=8))
+        core.issue_load(2)  # resolves almost immediately
+        core.advance(400)
+        assert core.finish() == pytest.approx(0.25 + 400 / 4, abs=3)
+
+
+class TestFinish:
+    def test_finish_waits_for_last_miss(self):
+        core = CoreTimingModel()
+        core.issue_load(500)
+        assert core.finish() >= 500
+
+    def test_finish_idempotent(self):
+        core = CoreTimingModel()
+        core.issue_load(100)
+        first = core.finish()
+        assert core.finish() == first
+
+    def test_finish_without_events(self):
+        assert CoreTimingModel().finish() == 0.0
+
+
+class TestMixedStreams:
+    def test_interleaved_hits_and_misses(self):
+        core = CoreTimingModel(CoreConfig(width=4, rob_entries=32))
+        for i in range(20):
+            core.issue_load(0 if i % 2 else 30)
+            core.advance(10)
+        total = core.finish()
+        # Sanity corridor: more than pure compute, less than full
+        # serialization of every miss.
+        compute_only = (20 * 11) / 4
+        serialized = compute_only + 10 * 30
+        assert compute_only < total < serialized
+
+    def test_nonblocking_mixed_with_blocking(self):
+        blocking = CoreTimingModel()
+        mixed = CoreTimingModel()
+        for _ in range(10):
+            blocking.issue_load(50)
+            mixed.issue_load(50, blocking=False)
+            blocking.advance(5)
+            mixed.advance(5)
+        assert mixed.finish() < blocking.finish()

@@ -1,0 +1,54 @@
+"""Energy-model composition checks tied to the paper's energy story."""
+
+import pytest
+
+from repro.energy.model import EnergyModel
+
+
+class TestComponentShares:
+    """The paper's energy savings come from removing L2/memory/NoC traffic;
+    these checks pin the relative magnitudes that make that story work."""
+
+    def test_memory_access_dwarfs_l2(self):
+        model = EnergyModel()
+        assert model.per_access_nj("memory") > 5 * model.per_access_nj("l2")
+
+    def test_l2_dwarfs_l1(self):
+        model = EnergyModel()
+        assert model.per_access_nj("l2") > 2 * model.per_access_nj("l1")
+
+    def test_approximator_cheaper_than_l2(self):
+        # An approximator lookup must cost less than the L2 access it can
+        # avoid, or the whole technique would be an energy loss.
+        model = EnergyModel()
+        assert model.per_access_nj("approximator") < model.per_access_nj("l2")
+
+    def test_degree_16_miss_profile_saves_energy(self):
+        """Hand-computed miss profile: degree 16 removes 16/17 of fetch
+        traffic; the approximator overhead must not eat the savings."""
+        model = EnergyModel()
+        misses = 17_000
+        flits_per_fetch = 3 * 2  # request + reply legs
+        precise = model.account(
+            l2_accesses=misses,
+            memory_accesses=misses // 5,
+            noc_flit_hops=misses * flits_per_fetch,
+        )
+        lva = model.account(
+            l2_accesses=misses // 17,
+            memory_accesses=misses // 85,
+            noc_flit_hops=(misses // 17) * flits_per_fetch,
+            approximator_accesses=misses + misses // 17,
+        )
+        assert lva.total_nj < 0.25 * precise.total_nj
+
+    def test_smaller_approximator_table_cheaper(self):
+        big = EnergyModel(approximator_entries=512)
+        small = EnergyModel(approximator_entries=64)
+        assert small.per_access_nj("approximator") < big.per_access_nj(
+            "approximator"
+        )
+
+    def test_per_access_unknown_component_raises(self):
+        with pytest.raises(KeyError):
+            EnergyModel().per_access_nj("flux-capacitor")

@@ -1,0 +1,112 @@
+"""Tests for the CACTI-style energy model and EDP helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.energy.cacti import (
+    approximator_table_energy_nj,
+    dram_access_energy_nj,
+    noc_flit_hop_energy_nj,
+    sram_access_energy_nj,
+)
+from repro.energy.model import EnergyModel, energy_delay_product, normalized_edp
+from repro.errors import ConfigurationError
+
+
+class TestCacti:
+    def test_bigger_sram_costs_more(self):
+        assert sram_access_energy_nj(512 * 1024) > sram_access_energy_nj(16 * 1024)
+
+    def test_associativity_penalty(self):
+        assert sram_access_energy_nj(16 * 1024, 8) > sram_access_energy_nj(16 * 1024, 1)
+
+    def test_calibration_points(self):
+        # The constants are calibrated to CACTI-class magnitudes at 32 nm.
+        l1 = sram_access_energy_nj(16 * 1024, 8)
+        l2 = sram_access_energy_nj(512 * 1024, 16)
+        assert 0.01 < l1 < 0.05
+        assert 0.1 < l2 < 0.3
+
+    def test_dram_dominates_sram(self):
+        assert dram_access_energy_nj() > 10 * sram_access_energy_nj(512 * 1024)
+
+    def test_dram_scales_with_block(self):
+        assert dram_access_energy_nj(128) == 2 * dram_access_energy_nj(64)
+
+    def test_technology_scaling(self):
+        assert sram_access_energy_nj(16 * 1024, 8, tech_nm=45) > sram_access_energy_nj(
+            16 * 1024, 8, tech_nm=32
+        )
+
+    def test_approximator_table_is_small_sram(self):
+        table = approximator_table_energy_nj()
+        assert 0 < table < sram_access_energy_nj(512 * 1024)
+
+    def test_flit_hop_energy_positive(self):
+        assert noc_flit_hop_energy_nj() > 0
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sram_access_energy_nj(0)
+        with pytest.raises(ConfigurationError):
+            sram_access_energy_nj(1024, 0)
+        with pytest.raises(ConfigurationError):
+            dram_access_energy_nj(0)
+
+    @given(st.integers(1024, 10 * 1024 * 1024))
+    def test_monotone_in_size(self, size):
+        assert sram_access_energy_nj(size + 1024) >= sram_access_energy_nj(size)
+
+
+class TestEnergyModel:
+    def test_accounting_is_linear(self):
+        model = EnergyModel()
+        single = model.account(l1_accesses=1)
+        many = model.account(l1_accesses=10)
+        assert many.l1_nj == pytest.approx(10 * single.l1_nj)
+
+    def test_breakdown_total(self):
+        model = EnergyModel()
+        breakdown = model.account(
+            l1_accesses=100, l2_accesses=10, memory_accesses=1,
+            noc_flit_hops=50, approximator_accesses=20,
+        )
+        parts = (
+            breakdown.l1_nj + breakdown.l2_nj + breakdown.memory_nj
+            + breakdown.noc_nj + breakdown.approximator_nj
+        )
+        assert breakdown.total_nj == pytest.approx(parts)
+
+    def test_miss_path_excludes_l1(self):
+        model = EnergyModel()
+        breakdown = model.account(l1_accesses=100, l2_accesses=10)
+        assert breakdown.miss_path_nj == pytest.approx(breakdown.l2_nj)
+
+    def test_fewer_fetches_less_energy(self):
+        """The paper's energy-saving mechanism: approximation degree removes
+        L2/memory/NoC accesses."""
+        model = EnergyModel()
+        precise = model.account(l1_accesses=1000, l2_accesses=100,
+                                memory_accesses=20, noc_flit_hops=600)
+        lva = model.account(l1_accesses=1000, l2_accesses=60,
+                            memory_accesses=12, noc_flit_hops=360,
+                            approximator_accesses=120)
+        assert lva.total_nj < precise.total_nj
+
+    def test_as_dict_keys(self):
+        keys = set(EnergyModel().account().as_dict())
+        assert keys == {
+            "l1_nj", "l2_nj", "memory_nj", "noc_nj", "approximator_nj", "total_nj"
+        }
+
+
+class TestEDP:
+    def test_product(self):
+        assert energy_delay_product(10.0, 5.0) == 50.0
+
+    def test_normalized(self):
+        assert normalized_edp(5.0, 5.0, 10.0, 10.0) == pytest.approx(0.25)
+
+    def test_zero_baseline(self):
+        assert normalized_edp(5.0, 5.0, 0.0, 10.0) == 0.0

@@ -1,0 +1,49 @@
+"""Tests for JSON/Markdown reporting of experiment results."""
+
+import json
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.report import render_report, to_json, to_markdown
+
+
+def sample_result():
+    result = ExperimentResult("Figure X", "a demo result", meta={"note": "hi"})
+    result.add("mpki", "canneal", 0.5)
+    result.add("mpki", "x264", 0.25)
+    result.add("error", "canneal", 0.01)
+    result.add("error", "x264", 0.0)
+    return result
+
+
+class TestJson:
+    def test_round_trips_through_json(self):
+        payload = json.loads(to_json(sample_result()))
+        assert payload["name"] == "Figure X"
+        assert payload["series"]["mpki"]["canneal"] == 0.5
+        assert payload["averages"]["mpki"] == 0.375
+        assert payload["meta"]["note"] == "hi"
+
+    def test_non_jsonable_meta_reprd(self):
+        result = ExperimentResult("X", "d", meta={"obj": object()})
+        payload = json.loads(to_json(result))
+        assert payload["meta"]["obj"].startswith("<object")
+
+
+class TestMarkdown:
+    def test_contains_table_rows(self):
+        markdown = to_markdown(sample_result())
+        assert "### Figure X" in markdown
+        assert "| canneal | 0.5000 | 0.0100 |" in markdown
+        assert "| **average** |" in markdown
+
+    def test_missing_cells_rendered_as_dash(self):
+        result = ExperimentResult("X", "d")
+        result.add("a", "w1", 1.0)
+        result.add("b", "w2", 2.0)
+        markdown = to_markdown(result)
+        assert "—" in markdown
+
+    def test_render_report_concatenates(self):
+        report = render_report([sample_result(), sample_result()], title="T")
+        assert report.startswith("# T")
+        assert report.count("### Figure X") == 2

@@ -1,0 +1,91 @@
+"""Property-based invariants of the full-system simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ApproximatorConfig
+from repro.fullsystem import FullSystemConfig, FullSystemSimulator
+from repro.sim.trace import LoadEvent, Trace
+
+
+@st.composite
+def traces(draw):
+    """Random small multi-threaded traces."""
+    n = draw(st.integers(1, 60))
+    events = []
+    for _ in range(n):
+        tid = draw(st.integers(0, 3))
+        addr = draw(st.integers(0, 1 << 14)) & ~63
+        value = draw(st.floats(-100, 100, allow_nan=False))
+        approximable = draw(st.booleans())
+        gap = draw(st.integers(0, 30))
+        events.append(
+            LoadEvent(tid, 0x400 + 4 * tid, addr, value, True, approximable, gap)
+        )
+    return Trace(events)
+
+
+LVA = FullSystemConfig(
+    approximate=True,
+    approximator=ApproximatorConfig(apply_confidence_to_floats=False),
+)
+
+
+class TestInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(traces())
+    def test_counters_consistent(self, trace):
+        result = FullSystemSimulator(LVA).run(trace)
+        assert result.loads == len(trace)
+        assert 0 <= result.covered_misses <= result.raw_misses <= result.loads
+        assert result.fetches <= result.raw_misses
+        assert result.memory_accesses <= result.l2_accesses
+        assert result.cycles >= 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(traces())
+    def test_instructions_match_trace(self, trace):
+        result = FullSystemSimulator(FullSystemConfig()).run(trace)
+        assert result.instructions == trace.total_instructions
+
+    @settings(max_examples=30, deadline=None)
+    @given(traces())
+    def test_lva_never_slower_much(self, trace):
+        """Approximation must not significantly slow any trace down.
+
+        The slack accounts for dropped training fetches leaving a block
+        uncached that a later precise load then misses on — bounded, but
+        nonzero on adversarial random traces.
+        """
+        baseline = FullSystemSimulator(FullSystemConfig()).run(trace)
+        lva = FullSystemSimulator(LVA).run(trace)
+        assert lva.cycles <= baseline.cycles * 1.10 + 150
+
+    @settings(max_examples=30, deadline=None)
+    @given(traces())
+    def test_energy_nonnegative_and_composed(self, trace):
+        result = FullSystemSimulator(LVA).run(trace)
+        energy = result.energy
+        for component in (energy.l1_nj, energy.l2_nj, energy.memory_nj,
+                          energy.noc_nj, energy.approximator_nj):
+            assert component >= 0
+        assert energy.total_nj >= energy.miss_path_nj
+
+    @settings(max_examples=20, deadline=None)
+    @given(traces(), st.integers(0, 16))
+    def test_degree_never_increases_fetches(self, trace, degree):
+        base_cfg = FullSystemConfig(
+            approximate=True,
+            approximator=ApproximatorConfig(apply_confidence_to_floats=False),
+        )
+        deg_cfg = FullSystemConfig(
+            approximate=True,
+            approximator=ApproximatorConfig(
+                apply_confidence_to_floats=False, approximation_degree=degree
+            ),
+        )
+        base = FullSystemSimulator(base_cfg).run(trace)
+        with_degree = FullSystemSimulator(deg_cfg).run(trace)
+        assert with_degree.fetches <= base.fetches + 3

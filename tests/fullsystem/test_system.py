@@ -1,0 +1,156 @@
+"""Tests for the phase-2 full-system simulator."""
+
+import pytest
+
+from repro.core.config import ApproximatorConfig
+from repro.errors import ConfigurationError, SimulationError
+from repro.fullsystem import FullSystemConfig, FullSystemSimulator
+from repro.sim.trace import LoadEvent, Trace
+
+
+def synthetic_trace(
+    threads=4, loads_per_thread=50, gap=20, stride_blocks=True, approximable=True,
+    value=5.0,
+):
+    """A simple multi-threaded trace with per-thread streaming addresses."""
+    events = []
+    for i in range(loads_per_thread):
+        for tid in range(threads):
+            addr = (tid << 20) | (i * 64 if stride_blocks else 0)
+            events.append(
+                LoadEvent(
+                    tid=tid, pc=0x400 + 8 * tid, addr=addr, value=value,
+                    is_float=True, approximable=approximable, gap=gap,
+                )
+            )
+    return Trace(events)
+
+
+class TestBaselineReplay:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            FullSystemSimulator().run(Trace())
+
+    def test_counts_match_trace(self):
+        trace = synthetic_trace()
+        result = FullSystemSimulator().run(trace)
+        assert result.loads == len(trace)
+        assert result.instructions == trace.total_instructions
+
+    def test_streaming_misses_fetch_one_to_one(self):
+        trace = synthetic_trace()
+        result = FullSystemSimulator().run(trace)
+        assert result.raw_misses == result.fetches
+        assert result.covered_misses == 0
+
+    def test_repeated_block_hits_after_first(self):
+        trace = synthetic_trace(stride_blocks=False, loads_per_thread=20)
+        result = FullSystemSimulator().run(trace)
+        assert result.raw_misses == 4  # one compulsory miss per core
+
+    def test_cycles_at_least_width_limited(self):
+        trace = synthetic_trace()
+        result = FullSystemSimulator().run(trace)
+        per_core_instr = trace.total_instructions / 4
+        assert result.cycles >= per_core_instr / 4
+
+    def test_miss_latency_includes_noc_and_l2(self):
+        trace = synthetic_trace()
+        result = FullSystemSimulator().run(trace)
+        # Minimum: 2 routers each way + L2 latency.
+        assert result.average_miss_latency > 10
+
+    def test_energy_breakdown_populated(self):
+        result = FullSystemSimulator().run(synthetic_trace())
+        assert result.energy.l1_nj > 0
+        assert result.energy.l2_nj > 0
+        assert result.energy.total_nj > result.energy.miss_path_nj
+
+
+class TestApproximateReplay:
+    def lva_config(self, degree=0):
+        return FullSystemConfig(
+            approximate=True,
+            approximator=ApproximatorConfig(
+                approximation_degree=degree, apply_confidence_to_floats=False
+            ),
+        )
+
+    def test_constant_values_get_covered(self):
+        trace = synthetic_trace(value=5.0)
+        result = FullSystemSimulator(self.lva_config()).run(trace)
+        assert result.covered_misses > 0
+
+    def test_speedup_over_baseline(self):
+        trace = synthetic_trace(gap=4)
+        baseline = FullSystemSimulator().run(trace)
+        lva = FullSystemSimulator(self.lva_config()).run(trace)
+        assert lva.speedup_over(baseline) > 0
+
+    def test_degree_reduces_fetches(self):
+        trace = synthetic_trace()
+        d0 = FullSystemSimulator(self.lva_config(0)).run(trace)
+        d8 = FullSystemSimulator(self.lva_config(8)).run(trace)
+        assert d8.fetches < d0.fetches
+
+    def test_degree_saves_energy(self):
+        trace = synthetic_trace()
+        baseline = FullSystemSimulator().run(trace)
+        d8 = FullSystemSimulator(self.lva_config(8)).run(trace)
+        assert d8.energy_savings_over(baseline) > 0
+
+    def test_covered_misses_have_zero_latency_contribution(self):
+        trace = synthetic_trace()
+        baseline = FullSystemSimulator().run(trace)
+        lva = FullSystemSimulator(self.lva_config()).run(trace)
+        assert lva.average_miss_latency < baseline.average_miss_latency
+
+    def test_non_approximable_trace_unaffected_by_lva(self):
+        trace = synthetic_trace(approximable=False)
+        baseline = FullSystemSimulator().run(trace)
+        lva = FullSystemSimulator(self.lva_config()).run(trace)
+        assert lva.covered_misses == 0
+        assert lva.cycles == pytest.approx(baseline.cycles)
+
+    def test_miss_edp_improves(self):
+        trace = synthetic_trace()
+        baseline = FullSystemSimulator().run(trace)
+        lva = FullSystemSimulator(self.lva_config(8)).run(trace)
+        assert lva.miss_edp < baseline.miss_edp
+
+
+class TestConfigValidation:
+    def test_core_mesh_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FullSystemConfig(num_cores=8)
+
+    def test_block_size_mismatch_rejected(self):
+        from repro.mem.cache import CacheConfig
+
+        with pytest.raises(ConfigurationError):
+            FullSystemConfig(
+                l1=CacheConfig(size_bytes=16 * 1024, block_bytes=32),
+            )
+
+    def test_resolved_approximator_defaults(self):
+        config = FullSystemConfig()
+        assert config.resolved_approximator().table_entries == 512
+
+
+class TestThreadMapping:
+    def test_threads_pinned_round_robin(self):
+        trace = synthetic_trace(threads=4)
+        sim = FullSystemSimulator()
+        result = sim.run(trace)
+        # All four cores did work.
+        assert all(cycles > 0 for cycles in result.core_cycles)
+
+    def test_more_threads_than_cores_fold(self):
+        events = []
+        for tid in range(8):
+            events.append(
+                LoadEvent(tid=tid, pc=0x400, addr=tid * 64, value=1.0,
+                          is_float=True, approximable=False, gap=10)
+            )
+        result = FullSystemSimulator().run(Trace(events))
+        assert result.loads == 8

@@ -1,0 +1,66 @@
+"""Tests for the two-level hierarchy wrapper."""
+
+from repro.mem.cache import CacheConfig, SetAssociativeCache
+from repro.mem.hierarchy import TwoLevelHierarchy
+from repro.mem.memory import MainMemory
+
+
+def tiny_hierarchy():
+    return TwoLevelHierarchy(
+        l1=SetAssociativeCache(CacheConfig(size_bytes=2 * 64, associativity=1, block_bytes=64)),
+        l2=SetAssociativeCache(
+            CacheConfig(size_bytes=8 * 64, associativity=2, block_bytes=64, latency=6)
+        ),
+        memory=MainMemory(latency=160),
+    )
+
+
+class TestLoadPath:
+    def test_cold_load_goes_to_memory(self):
+        h = tiny_hierarchy()
+        access = h.load(0x1000)
+        assert access.served_by == "memory"
+        assert access.latency == 1 + 6 + 160
+        assert access.l1_filled
+
+    def test_second_load_hits_l1(self):
+        h = tiny_hierarchy()
+        h.load(0x1000)
+        access = h.load(0x1000)
+        assert access.served_by == "l1"
+        assert access.latency == 1
+
+    def test_l1_eviction_falls_back_to_l2(self):
+        h = tiny_hierarchy()
+        h.load(0x0)
+        h.load(0x80)   # same direct-mapped L1 set (2 sets, stride 0x80)
+        access = h.load(0x0)
+        assert access.served_by == "l2"
+        assert access.latency == 1 + 6
+
+    def test_fetch_on_miss_false_skips_everything(self):
+        h = tiny_hierarchy()
+        access = h.load(0x1000, fetch_on_miss=False)
+        assert access.served_by == "none"
+        assert not access.l1_filled
+        assert h.memory.stats.reads == 0
+        # Next load still misses: nothing was fetched.
+        assert not h.l1.contains(0x1000)
+
+    def test_store_write_allocates_and_dirties(self):
+        h = tiny_hierarchy()
+        h.store(0x1000)
+        assert h.l1.contains(0x1000)
+
+    def test_dirty_l1_victim_written_back_to_l2(self):
+        h = tiny_hierarchy()
+        h.store(0x0)
+        h.load(0x80)  # evicts dirty 0x0 into L2
+        assert h.l2.contains(0x0)
+
+    def test_reset(self):
+        h = tiny_hierarchy()
+        h.load(0x1000)
+        h.reset()
+        assert h.l1.resident_blocks == 0
+        assert h.memory.stats.reads == 0

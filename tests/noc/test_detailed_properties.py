@@ -1,0 +1,86 @@
+"""Further detailed-NoC behaviour: conservation, stats, VC plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.detailed import DetailedMeshNetwork, DetailedNocConfig
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(1, 6)),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_every_packet_delivered(packets):
+    """Flit conservation: nothing is ever dropped or duplicated."""
+    net = DetailedMeshNetwork()
+    for src, dst, size in packets:
+        net.inject(src, dst, size)
+    stats = net.run(max_cycles=20_000)
+    assert stats.delivered == stats.injected == len(packets)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_latency_at_least_pipeline_minimum(pairs):
+    """No packet beats the router-pipeline lower bound."""
+    net = DetailedMeshNetwork()
+    ids = [net.inject(src, dst, 3) for src, dst in pairs]
+    net.run(max_cycles=20_000)
+    for (src, dst), pid in zip(pairs, ids):
+        latency = net.packet_latency(pid)
+        hops = net.topology.hop_count(src, dst)
+        minimum = net.config.router_latency * (hops + 1)
+        assert latency >= minimum
+
+
+def test_flit_hops_equals_size_times_distance():
+    net = DetailedMeshNetwork(DetailedNocConfig(width=3, height=3))
+    net.inject(0, 8, size_flits=7)  # 4 hops
+    net.run()
+    assert net.stats.flit_hops == 7 * 4
+
+
+def test_average_latency_stat():
+    net = DetailedMeshNetwork()
+    a = net.inject(0, 1, 2)
+    b = net.inject(2, 3, 2)
+    net.run()
+    expected = (net.packet_latency(a) + net.packet_latency(b)) / 2
+    assert net.stats.average_latency == pytest.approx(expected)
+
+
+def test_more_vcs_do_not_hurt_throughput():
+    """Extra virtual channels should never slow completion of a batch."""
+
+    def completion_cycle(vcs):
+        net = DetailedMeshNetwork(DetailedNocConfig(vcs=vcs, buffer_depth=2))
+        rng = np.random.default_rng(7)
+        for _ in range(24):
+            src, dst = rng.integers(0, 4, 2)
+            net.inject(int(src), int(dst), 4, time=0)
+        net.run(max_cycles=50_000)
+        return net.cycle
+
+    assert completion_cycle(4) <= completion_cycle(1) * 1.2
+
+
+def test_packet_latency_none_until_delivered():
+    net = DetailedMeshNetwork()
+    pid = net.inject(0, 3, 4)
+    assert net.packet_latency(pid) is None
+    net.run()
+    assert net.packet_latency(pid) is not None
+
+    assert net.packet_latency(999) is None  # unknown id

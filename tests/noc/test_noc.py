@@ -1,0 +1,133 @@
+"""Tests for the mesh topology, links and network timing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.noc.network import MeshNetwork, NocConfig
+from repro.noc.router import Link
+from repro.noc.topology import MeshTopology
+
+
+class TestTopology:
+    def test_2x2_coords(self):
+        mesh = MeshTopology(2, 2)
+        assert mesh.coords(0) == (0, 0)
+        assert mesh.coords(1) == (1, 0)
+        assert mesh.coords(2) == (0, 1)
+        assert mesh.coords(3) == (1, 1)
+
+    def test_node_at_roundtrip(self):
+        mesh = MeshTopology(4, 3)
+        for node in range(mesh.num_nodes):
+            assert mesh.node_at(*mesh.coords(node)) == node
+
+    def test_route_x_before_y(self):
+        mesh = MeshTopology(3, 3)
+        route = mesh.route(0, 8)  # (0,0) -> (2,2)
+        assert route == [(0, 1), (1, 2), (2, 5), (5, 8)]
+
+    def test_route_to_self_is_empty(self):
+        assert MeshTopology(2, 2).route(3, 3) == []
+
+    def test_hop_count_is_manhattan(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.hop_count(0, 15) == 6
+        assert mesh.hop_count(5, 6) == 1
+
+    def test_route_length_equals_hop_count(self):
+        mesh = MeshTopology(4, 4)
+        for src in range(16):
+            for dst in range(16):
+                assert len(mesh.route(src, dst)) == mesh.hop_count(src, dst)
+
+    def test_bad_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeshTopology(2, 2).coords(4)
+
+
+class TestLink:
+    def test_uncontended_transfer(self):
+        link = Link()
+        assert link.transfer(10, 5) == 15
+
+    def test_queueing_behind_earlier_packet(self):
+        link = Link()
+        link.transfer(10, 5)          # occupies [10, 15)
+        assert link.transfer(12, 2) == 17
+        assert link.stats.queueing_cycles == 3
+
+    def test_low_priority_waits_for_both_classes(self):
+        link = Link()
+        link.transfer(0, 10)                      # high: [0, 10)
+        assert link.transfer(0, 2, low_priority=True) == 12
+
+    def test_high_priority_ignores_low(self):
+        link = Link()
+        link.transfer(0, 10, low_priority=True)   # low:  [0, 10)
+        assert link.transfer(0, 2) == 2           # high sails through
+
+
+class TestNetwork:
+    def test_local_delivery_costs_one_router(self):
+        net = MeshNetwork()
+        timings = net.send(0, 0, departure=0, flits=5)
+        assert timings.latency == 3
+
+    def test_one_hop_latency(self):
+        net = MeshNetwork()
+        # injection router (3) + hop router (3) + serialization (flits)
+        timings = net.send(0, 1, departure=0, flits=5)
+        assert timings.latency == 3 + 3 + 5
+
+    def test_two_hop_latency(self):
+        net = MeshNetwork()
+        timings = net.send(0, 3, departure=0, flits=5)
+        assert timings.latency == 3 + 3 + 3 + 5
+
+    def test_contention_increases_latency(self):
+        net = MeshNetwork()
+        first = net.send(0, 1, departure=0, flits=8)
+        second = net.send(0, 1, departure=0, flits=8)
+        assert second.latency > first.latency
+
+    def test_flit_hops_accumulate(self):
+        net = MeshNetwork()
+        net.send(0, 3, departure=0, flits=5)  # 2 hops x 5 flits
+        assert net.stats.flit_hops == 10
+
+    def test_data_flits_for_64b_block(self):
+        config = NocConfig(flit_bytes=32)
+        assert config.data_flits(64) == 3  # head + 2 payload
+
+    def test_request_reply_roundtrip(self):
+        net = MeshNetwork()
+        timings = net.request_reply(0, 3, departure=0)
+        one_way_control = 3 + 3 + 3 + 1
+        one_way_data = 3 + 3 + 3 + net.config.data_flits(64)
+        assert timings.latency == one_way_control + one_way_data
+
+    def test_reset(self):
+        net = MeshNetwork()
+        net.send(0, 1, 0, 4)
+        net.reset()
+        assert net.stats.packets == 0
+        assert net.send(0, 1, 0, 4).latency == 3 + 3 + 4
+
+    @settings(max_examples=25)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 1000)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_arrival_never_before_minimum(self, sends):
+        net = MeshNetwork()
+        for src, dst, departure in sends:
+            timings = net.send(src, dst, departure, flits=4)
+            minimum = 3 * (1 + net.topology.hop_count(src, dst))
+            if src != dst:
+                minimum += 4
+            assert timings.latency >= minimum

@@ -1,0 +1,58 @@
+"""Property tests on mesh routing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.topology import MeshTopology
+
+mesh_dims = st.tuples(st.integers(1, 6), st.integers(1, 6))
+
+
+@given(mesh_dims, st.data())
+def test_route_is_connected_path(dims, data):
+    """Consecutive links share a node; the path starts at src, ends at dst."""
+    width, height = dims
+    mesh = MeshTopology(width, height)
+    src = data.draw(st.integers(0, mesh.num_nodes - 1))
+    dst = data.draw(st.integers(0, mesh.num_nodes - 1))
+    route = mesh.route(src, dst)
+    if not route:
+        assert src == dst
+        return
+    assert route[0][0] == src
+    assert route[-1][1] == dst
+    for (a, b), (c, _) in zip(route, route[1:]):
+        assert b == c
+
+
+@given(mesh_dims, st.data())
+def test_every_hop_is_a_mesh_neighbour(dims, data):
+    width, height = dims
+    mesh = MeshTopology(width, height)
+    src = data.draw(st.integers(0, mesh.num_nodes - 1))
+    dst = data.draw(st.integers(0, mesh.num_nodes - 1))
+    for a, b in mesh.route(src, dst):
+        ax, ay = mesh.coords(a)
+        bx, by = mesh.coords(b)
+        assert abs(ax - bx) + abs(ay - by) == 1
+
+
+@given(mesh_dims, st.data())
+def test_route_never_revisits_a_node(dims, data):
+    """XY dimension-order routing is minimal: no node appears twice."""
+    width, height = dims
+    mesh = MeshTopology(width, height)
+    src = data.draw(st.integers(0, mesh.num_nodes - 1))
+    dst = data.draw(st.integers(0, mesh.num_nodes - 1))
+    route = mesh.route(src, dst)
+    visited = [src] + [b for _, b in route]
+    assert len(visited) == len(set(visited))
+
+
+@given(mesh_dims, st.data())
+def test_route_length_is_manhattan_distance(dims, data):
+    width, height = dims
+    mesh = MeshTopology(width, height)
+    src = data.draw(st.integers(0, mesh.num_nodes - 1))
+    dst = data.draw(st.integers(0, mesh.num_nodes - 1))
+    assert len(mesh.route(src, dst)) == mesh.hop_count(src, dst)

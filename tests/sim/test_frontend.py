@@ -1,0 +1,125 @@
+"""Tests for the memory front-end (address space, value store, recording)."""
+
+import pytest
+
+from repro.errors import AddressError, ConfigurationError
+from repro.sim.frontend import AddressSpace, PreciseMemory
+from repro.sim.trace import TraceRecorder
+
+
+class TestAddressSpace:
+    def test_regions_are_page_aligned_and_disjoint(self):
+        space = AddressSpace()
+        a = space.alloc("a", 10)
+        b = space.alloc("b", 10)
+        assert a.base % AddressSpace.PAGE == 0
+        assert b.base % AddressSpace.PAGE == 0
+        assert b.base >= a.end
+
+    def test_region_addressing(self):
+        space = AddressSpace()
+        region = space.alloc("x", 4, itemsize=8)
+        assert region.addr(0) == region.base
+        assert region.addr(3) == region.base + 24
+
+    def test_custom_itemsize_stride(self):
+        space = AddressSpace()
+        region = space.alloc("aos", 4, itemsize=48)
+        assert region.addr(1) - region.addr(0) == 48
+
+    def test_out_of_bounds_rejected(self):
+        region = AddressSpace().alloc("x", 4)
+        with pytest.raises(AddressError):
+            region.addr(4)
+        with pytest.raises(AddressError):
+            region.addr(-1)
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.alloc("x", 1)
+        with pytest.raises(ConfigurationError):
+            space.alloc("x", 1)
+
+    def test_lookup_by_name(self):
+        space = AddressSpace()
+        region = space.alloc("x", 1)
+        assert space.region("x") is region
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressSpace().alloc("x", 0)
+
+
+class TestPreciseMemory:
+    def test_store_load_roundtrip(self):
+        mem = PreciseMemory()
+        region = mem.space.alloc("x", 4)
+        mem.store(region.addr(2), 3.75)
+        assert mem.load(0x400, region.addr(2)) == 3.75
+
+    def test_load_approx_returns_precise_value(self):
+        mem = PreciseMemory()
+        region = mem.space.alloc("x", 1)
+        mem.store(region.addr(0), 42)
+        assert mem.load_approx(0x400, region.addr(0), is_float=False) == 42
+
+    def test_unwritten_address_rejected(self):
+        mem = PreciseMemory()
+        with pytest.raises(AddressError):
+            mem.load(0x400, 0xDEAD000)
+
+    def test_instruction_accounting(self):
+        mem = PreciseMemory()
+        region = mem.space.alloc("x", 1)
+        mem.store(region.addr(0), 1.0)     # 1 instruction
+        mem.load(0x400, region.addr(0))    # 1 instruction
+        mem.advance(10)                    # 10 instructions
+        assert mem.instructions == 12
+
+    def test_thread_tracking(self):
+        mem = PreciseMemory()
+        assert mem.thread == 0
+        mem.set_thread(3)
+        assert mem.thread == 3
+
+
+class TestRecording:
+    def test_loads_recorded_with_gaps(self):
+        recorder = TraceRecorder()
+        mem = PreciseMemory(recorder=recorder)
+        region = mem.space.alloc("x", 2)
+        mem.store(region.addr(0), 1.0)
+        mem.store(region.addr(1), 2.0)
+        mem.advance(5)
+        mem.load_approx(0x400, region.addr(0))
+        mem.set_thread(1)
+        mem.load(0x404, region.addr(1))
+
+        trace = recorder.trace
+        assert len(trace) == 2
+        first, second = trace.events
+        # Stores count as (non-load) gap instructions for their thread.
+        assert first.gap == 7
+        assert first.approximable and first.value == 1.0 and first.tid == 0
+        assert second.gap == 0
+        assert not second.approximable and second.tid == 1
+
+    def test_per_thread_split(self):
+        recorder = TraceRecorder()
+        mem = PreciseMemory(recorder=recorder)
+        region = mem.space.alloc("x", 1)
+        mem.store(region.addr(0), 1.0)
+        for tid in (0, 1, 0, 2):
+            mem.set_thread(tid)
+            mem.load(0x400, region.addr(0))
+        streams = recorder.trace.per_thread()
+        assert {k: len(v) for k, v in streams.items()} == {0: 2, 1: 1, 2: 1}
+
+    def test_total_instructions(self):
+        recorder = TraceRecorder()
+        mem = PreciseMemory(recorder=recorder)
+        region = mem.space.alloc("x", 1)
+        mem.store(region.addr(0), 1.0)
+        mem.advance(9)
+        mem.load(0x400, region.addr(0))
+        assert recorder.trace.total_instructions == 11

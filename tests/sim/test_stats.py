@@ -1,0 +1,43 @@
+"""Unit tests for the phase-1 statistics container."""
+
+import pytest
+
+from repro.sim.stats import SimulationStats
+
+
+class TestDerivedMetrics:
+    def test_effective_misses(self):
+        stats = SimulationStats(raw_misses=10, covered_misses=4)
+        assert stats.effective_misses == 6
+
+    def test_mpki(self):
+        stats = SimulationStats(instructions=2000, raw_misses=10, covered_misses=4)
+        assert stats.mpki == pytest.approx(3.0)
+        assert stats.raw_mpki == pytest.approx(5.0)
+
+    def test_zero_instructions_safe(self):
+        stats = SimulationStats()
+        assert stats.mpki == 0.0
+        assert stats.raw_mpki == 0.0
+        assert stats.fetches_per_kilo_instruction == 0.0
+
+    def test_coverage(self):
+        stats = SimulationStats(raw_misses=8, covered_misses=2)
+        assert stats.coverage == 0.25
+
+    def test_coverage_without_misses(self):
+        assert SimulationStats().coverage == 0.0
+
+    def test_fetches_per_ki(self):
+        stats = SimulationStats(instructions=4000, fetches=8)
+        assert stats.fetches_per_kilo_instruction == pytest.approx(2.0)
+
+    def test_as_dict_roundtrip(self):
+        stats = SimulationStats(
+            instructions=1000, loads=10, raw_misses=5, covered_misses=2, fetches=3
+        )
+        stats.static_approx_pcs.update({1, 2, 3})
+        payload = stats.as_dict()
+        assert payload["effective_misses"] == 3
+        assert payload["static_approx_pcs"] == 3
+        assert payload["mpki"] == stats.mpki

@@ -1,0 +1,63 @@
+"""Tests for trace save/load round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import LoadEvent, Trace
+
+
+def sample_trace():
+    return Trace([
+        LoadEvent(tid=0, pc=0x400, addr=0x1000, value=3.25, is_float=True,
+                  approximable=True, gap=12),
+        LoadEvent(tid=1, pc=0x404, addr=0x2000, value=-7, is_float=False,
+                  approximable=False, gap=0),
+        LoadEvent(tid=3, pc=0x408, addr=0x3000, value=2**40, is_float=False,
+                  approximable=True, gap=999),
+    ])
+
+
+class TestRoundTrip:
+    def test_events_identical_after_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.npz")
+        original = sample_trace()
+        original.save(path)
+        restored = Trace.load(path)
+        assert restored.events == original.events
+
+    def test_value_types_preserved(self, tmp_path):
+        path = str(tmp_path / "trace.npz")
+        sample_trace().save(path)
+        restored = Trace.load(path)
+        assert isinstance(restored.events[0].value, float)
+        assert isinstance(restored.events[1].value, int)
+
+    def test_large_int_values_exact(self, tmp_path):
+        path = str(tmp_path / "trace.npz")
+        sample_trace().save(path)
+        restored = Trace.load(path)
+        assert restored.events[2].value == 2**40
+
+    def test_total_instructions_preserved(self, tmp_path):
+        path = str(tmp_path / "trace.npz")
+        original = sample_trace()
+        original.save(path)
+        assert Trace.load(path).total_instructions == original.total_instructions
+
+    def test_workload_trace_roundtrip(self, tmp_path):
+        """A real captured trace replays identically after persistence."""
+        from repro import FullSystemConfig, FullSystemSimulator, Mode, TraceRecorder, TraceSimulator, get_workload
+
+        recorder = TraceRecorder()
+        sim = TraceSimulator(Mode.PRECISE, recorder=recorder)
+        get_workload("swaptions", small=True).execute(sim, 3)
+        sim.finish()
+
+        path = str(tmp_path / "swaptions.npz")
+        recorder.trace.save(path)
+        restored = Trace.load(path)
+
+        a = FullSystemSimulator(FullSystemConfig()).run(recorder.trace)
+        b = FullSystemSimulator(FullSystemConfig()).run(restored)
+        assert a.cycles == b.cycles
+        assert a.raw_misses == b.raw_misses

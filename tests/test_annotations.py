@@ -1,0 +1,101 @@
+"""Tests for the Section-IV annotation auditor."""
+
+import pytest
+
+from repro.annotations import AuditingMemory, audit_workload
+from repro.workloads.registry import get_workload
+
+
+def issue(mem, pc, values, is_float=True):
+    region = mem.space.alloc(f"region_{pc:x}", len(values))
+    for i, value in enumerate(values):
+        mem.store(region.addr(i), value)
+    for i in range(len(values)):
+        mem.load_approx(pc, region.addr(i), is_float=is_float)
+    return region
+
+
+class TestHeuristics:
+    def test_zero_divisor_risk_flagged(self):
+        mem = AuditingMemory()
+        issue(mem, 0x100, [1.0, 0.0, 2.0] + [3.0] * 30)
+        report = mem.report()
+        assert report.by_kind("zero-divisor-risk")
+
+    def test_nonzero_stream_not_flagged(self):
+        mem = AuditingMemory()
+        issue(mem, 0x100, [1.0, 2.0, 3.0] * 11)
+        assert not mem.report().by_kind("zero-divisor-risk")
+
+    def test_boolean_flag_detected(self):
+        mem = AuditingMemory()
+        issue(mem, 0x200, [0, 1, 1, 0] * 8, is_float=False)
+        report = mem.report()
+        assert report.by_kind("boolean-flag")
+
+    def test_wide_int_range_not_flagged_as_flag(self):
+        mem = AuditingMemory()
+        issue(mem, 0x200, list(range(2, 40)), is_float=False)
+        assert not mem.report().by_kind("boolean-flag")
+
+    def test_address_like_values_flagged(self):
+        mem = AuditingMemory()
+        # A second region whose *addresses* we store as values.
+        target = mem.space.alloc("target", 8)
+        pointers = [target.addr(i) for i in range(8)] * 4
+        issue(mem, 0x300, pointers, is_float=False)
+        report = mem.report()
+        assert report.by_kind("address-like")
+
+    def test_cold_site_flagged(self):
+        mem = AuditingMemory()
+        issue(mem, 0x400, [5.0, 6.0])
+        report = mem.report()
+        assert report.by_kind("cold-site")
+
+    def test_hot_clean_site_passes(self):
+        mem = AuditingMemory()
+        issue(mem, 0x500, [100.0 + i * 0.1 for i in range(64)])
+        report = mem.report()
+        assert report.ok
+
+    def test_precise_loads_not_audited(self):
+        mem = AuditingMemory()
+        region = mem.space.alloc("x", 4)
+        for i in range(4):
+            mem.store(region.addr(i), 0.0)
+            mem.load(0x600, region.addr(i))
+        assert not mem.profiles
+
+
+class TestReport:
+    def test_format_lists_warnings(self):
+        mem = AuditingMemory()
+        issue(mem, 0x100, [0.0, 0.0])
+        text = mem.report().format()
+        assert "zero-divisor-risk" in text
+        assert "cold-site" in text
+
+    def test_site_profiles_exposed(self):
+        mem = AuditingMemory()
+        issue(mem, 0x100, [1.0, 5.0, 3.0] * 10)
+        report = mem.report()
+        profile = report.sites[0x100]
+        assert profile.loads == 30
+        assert profile.min_value == 1.0
+        assert profile.max_value == 5.0
+
+
+class TestWorkloadAudits:
+    """The paper's own annotations should come out (mostly) clean."""
+
+    @pytest.mark.parametrize("name", ["blackscholes", "swaptions", "x264"])
+    def test_no_pointer_or_flag_warnings(self, name):
+        report = audit_workload(get_workload(name, small=True))
+        assert not report.by_kind("boolean-flag")
+        assert not report.by_kind("address-like")
+
+    def test_canneal_positions_not_flagged_as_addresses(self):
+        # Grid coordinates are small ints, far below region bases.
+        report = audit_workload(get_workload("canneal", small=True))
+        assert not report.by_kind("address-like")

@@ -1,0 +1,50 @@
+"""Smoke tests: the lightweight example scripts must run end-to-end.
+
+The heavier examples (full design-space sweeps, full-system replays) are
+exercised by the benchmark harness; here we run the quick ones as real
+subprocesses so import errors, API drift or print regressions surface.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestQuickExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "coverage" in out
+        assert "degree 16" in out
+
+    def test_custom_workload(self):
+        out = run_example("custom_workload.py")
+        assert "stencil" in out.lower()
+        assert "baseline" in out
+
+    def test_annotation_audit(self, tmp_path):
+        out = run_example("annotation_audit.py")
+        assert "address-like" in out
+        assert "annotation audit" in out
+
+    def test_figure1_bodytrack(self, tmp_path):
+        out = run_example("figure1_bodytrack.py", str(tmp_path))
+        assert "output error" in out
+        assert (tmp_path / "figure1_precise.pgm").exists()
+        assert (tmp_path / "figure1_approximate.pgm").exists()
+        header = (tmp_path / "figure1_precise.pgm").read_text().splitlines()[0]
+        assert header == "P2"

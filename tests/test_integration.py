@@ -1,0 +1,128 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the exact pipelines a user of the library would run:
+workload -> phase-1 simulator -> metrics/error, and workload -> trace ->
+phase-2 full system -> speedup/energy, plus cross-technique invariants
+that tie the subsystems together.
+"""
+
+import pytest
+
+from repro.mem.cache import CacheConfig
+from repro import (
+    ApproximatorConfig,
+    FullSystemConfig,
+    FullSystemSimulator,
+    Mode,
+    TraceRecorder,
+    TraceSimulator,
+    get_workload,
+)
+from repro.sim.frontend import PreciseMemory
+
+
+SEED = 11
+
+
+#: A deliberately small L1 so the reduced workload instances still miss.
+TINY_L1 = CacheConfig(size_bytes=4 * 1024, associativity=4, block_bytes=64)
+
+
+def phase1(name, mode, config=None, recorder=None, l1=None, params=None, **kwargs):
+    workload = get_workload(name, params=params, small=True)
+    sim_kwargs = dict(kwargs)
+    if l1 is not None:
+        sim_kwargs["l1_config"] = l1
+    sim = TraceSimulator(
+        mode, approximator_config=config, recorder=recorder, **sim_kwargs
+    )
+    output = workload.execute(sim, SEED)
+    return workload, output, sim.finish(), sim
+
+
+class TestPhase1Pipeline:
+    def test_lva_covers_misses_and_keeps_error_low_on_x264(self):
+        workload, precise_out, _, _ = phase1("x264", Mode.PRECISE)
+        _, lva_out, stats, _ = phase1("x264", Mode.LVA)
+        error = workload.output_error(precise_out, lva_out)
+        assert stats.covered_misses > 0
+        assert error < 0.10
+
+    def test_lvp_has_zero_output_error_by_construction(self):
+        workload, precise_out, _, _ = phase1("blackscholes", Mode.PRECISE)
+        _, lvp_out, _, _ = phase1("blackscholes", Mode.LVP)
+        assert workload.output_error(precise_out, lvp_out) == 0.0
+
+    def test_prefetching_fetches_more_lva_fetches_less(self):
+        _, _, precise, _ = phase1("canneal", Mode.PRECISE, l1=TINY_L1)
+        _, _, prefetch, _ = phase1(
+            "canneal", Mode.PREFETCH, prefetch_degree=4, l1=TINY_L1
+        )
+        config = ApproximatorConfig(approximation_degree=4)
+        _, _, lva, _ = phase1("canneal", Mode.LVA, config=config, l1=TINY_L1)
+        per_ki = lambda s: s.fetches / max(s.instructions, 1)
+        assert per_ki(prefetch) > per_ki(precise)
+        assert per_ki(lva) < per_ki(precise)
+
+    def test_approximation_degree_monotone_fetch_reduction(self):
+        fetches = []
+        for degree in (0, 4, 16):
+            config = ApproximatorConfig(
+                approximation_degree=degree, apply_confidence_to_ints=False
+            )
+            _, _, stats, _ = phase1("canneal", Mode.LVA, config=config, l1=TINY_L1)
+            fetches.append(stats.fetches / max(stats.instructions, 1))
+        assert fetches[0] >= fetches[1] >= fetches[2]
+        assert fetches[2] < fetches[0]
+
+
+class TestPhaseCoupling:
+    def test_trace_capture_and_fullsystem_replay(self):
+        recorder = TraceRecorder()
+        phase1("blackscholes", Mode.PRECISE, recorder=recorder)
+        trace = recorder.trace
+        assert len(trace) > 0
+
+        baseline = FullSystemSimulator(FullSystemConfig()).run(trace)
+        lva = FullSystemSimulator(
+            FullSystemConfig(approximate=True, approximator=ApproximatorConfig())
+        ).run(trace)
+        assert baseline.loads == lva.loads == len(trace)
+        assert lva.covered_misses >= 0
+        assert lva.cycles <= baseline.cycles * 1.02
+
+    def test_fullsystem_energy_consistency(self):
+        recorder = TraceRecorder()
+        # A larger placement than the 16 KB full-system L1 so misses occur.
+        phase1(
+            "canneal", Mode.PRECISE, recorder=recorder,
+            params={"n_blocks": 4096, "steps": 500, "grid_width": 256, "grid_height": 64},
+        )
+        config = FullSystemConfig(
+            approximate=True,
+            approximator=ApproximatorConfig(approximation_degree=8),
+        )
+        baseline = FullSystemSimulator(FullSystemConfig()).run(recorder.trace)
+        lva = FullSystemSimulator(config).run(recorder.trace)
+        # Fewer fetches -> less miss-path energy, even after paying for the
+        # approximator's own accesses.
+        assert lva.fetches < baseline.fetches
+        assert lva.energy.miss_path_nj < baseline.energy.miss_path_nj
+
+
+class TestConsistencyAcrossFrontends:
+    @pytest.mark.parametrize("name", ["swaptions", "ferret"])
+    def test_precise_sim_equals_functional_reference(self, name):
+        workload = get_workload(name, small=True)
+        functional = workload.execute(PreciseMemory(), SEED)
+        simulated = get_workload(name, small=True).execute(
+            TraceSimulator(Mode.PRECISE), SEED
+        )
+        assert workload.output_error(functional, simulated) == 0.0
+
+    def test_stats_internally_consistent(self):
+        _, _, stats, _ = phase1("fluidanimate", Mode.LVA)
+        assert stats.covered_misses <= stats.raw_misses
+        assert stats.fetches + stats.fetches_avoided >= stats.raw_misses - stats.covered_misses
+        assert 0 <= stats.coverage <= 1
+        assert stats.loads <= stats.instructions

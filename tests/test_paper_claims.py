@@ -1,0 +1,100 @@
+"""Capstone checks of the paper's central claims (Sections I and III).
+
+Each test encodes one sentence of the paper as an executable assertion,
+at small scale so the whole module runs in seconds.
+"""
+
+import pytest
+
+from repro import (
+    ApproximatorConfig,
+    INFINITE_WINDOW,
+    Mode,
+    TraceSimulator,
+    get_workload,
+)
+from repro.core.approximator import LoadValueApproximator
+from repro.sim.frontend import PreciseMemory
+
+
+class TestNoRollbacks:
+    """'Since inexactness is acceptable, rollbacks are eliminated.'"""
+
+    def test_inexact_values_flow_into_output_without_reexecution(self):
+        workload = get_workload("canneal", small=True)
+        reference = workload.execute(PreciseMemory(), 3)
+        sim = TraceSimulator(Mode.LVA)
+        approx = get_workload("canneal", small=True).execute(sim, 3)
+        stats = sim.finish()
+        # Approximations happened, the program ran to completion, and the
+        # output (possibly different) is still a valid placement cost.
+        assert stats.covered_misses > 0
+        assert approx > 0
+        assert workload.output_error(reference, approx) < 1.0
+
+    def test_approximator_never_requests_reexecution(self):
+        # The decision object has no rollback channel at all: the only
+        # outputs are (value, fetch, token).
+        approx = LoadValueApproximator()
+        decision = approx.on_miss(0x400, True)
+        assert set(vars(decision)) == {"approximated", "value", "fetch", "token"}
+
+
+class TestCoverageVsPrediction:
+    """'Load value approximation achieves greater coverage by employing
+    relaxed confidence windows.'"""
+
+    def test_lva_covers_more_than_idealized_lvp_on_floats(self):
+        def coverage(mode):
+            sim = TraceSimulator(mode)
+            get_workload("fluidanimate", small=True).execute(sim, 3)
+            return sim.finish().coverage
+
+        assert coverage(Mode.LVA) > coverage(Mode.LVP)
+
+
+class TestFetchDecoupling:
+    """'Load value approximation eliminates the one-to-one ratio of cache
+    misses to cache fetches.'"""
+
+    def test_traditional_prediction_is_pinned_to_one_to_one(self):
+        sim = TraceSimulator(Mode.LVP)
+        get_workload("canneal", small=True).execute(sim, 3)
+        stats = sim.finish()
+        assert stats.fetches == stats.raw_misses
+
+    def test_degree_breaks_the_ratio(self):
+        config = ApproximatorConfig(approximation_degree=8)
+        sim = TraceSimulator(Mode.LVA, approximator_config=config)
+        get_workload("canneal", small=True).execute(sim, 3)
+        stats = sim.finish()
+        assert stats.fetches < stats.raw_misses
+
+    def test_degree_ratio_approaches_one_over_degree_plus_one(self):
+        config = ApproximatorConfig(
+            approximation_degree=4, apply_confidence_to_ints=False
+        )
+        sim = TraceSimulator(Mode.LVA, approximator_config=config)
+        get_workload("canneal", small=True).execute(sim, 3)
+        stats = sim.finish()
+        covered_fetch_ratio = 1 - stats.fetches_avoided / max(stats.covered_misses, 1)
+        assert covered_fetch_ratio == pytest.approx(1 / 5, abs=0.1)
+
+
+class TestPerformanceErrorSpectrum:
+    """'Relaxed confidence windows create a performance-error tradeoff.'"""
+
+    def test_spectrum_endpoints(self):
+        def point(window):
+            workload = get_workload("blackscholes", small=True)
+            reference = workload.execute(PreciseMemory(), 3)
+            config = ApproximatorConfig(confidence_window=window)
+            sim = TraceSimulator(Mode.LVA, approximator_config=config)
+            output = get_workload("blackscholes", small=True).execute(sim, 3)
+            stats = sim.finish()
+            return stats.mpki, workload.output_error(reference, output)
+
+        strict_mpki, strict_error = point(0.0)
+        relaxed_mpki, relaxed_error = point(INFINITE_WINDOW)
+        assert relaxed_mpki <= strict_mpki   # performance end
+        assert relaxed_error >= strict_error  # error end

@@ -1,0 +1,76 @@
+"""Public API surface tests: imports, exceptions, docstrings."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+from repro.errors import (
+    AddressError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.mem",
+    "repro.prefetch",
+    "repro.noc",
+    "repro.cpu",
+    "repro.energy",
+    "repro.sim",
+    "repro.fullsystem",
+    "repro.workloads",
+    "repro.experiments",
+]
+
+
+class TestImports:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_imports_and_exports(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} missing docstring"
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [ConfigurationError, SimulationError, WorkloadError, AddressError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_catchable_as_base(self):
+        from repro.core.config import ApproximatorConfig
+
+        with pytest.raises(ReproError):
+            ApproximatorConfig(table_entries=7)
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_public_classes_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{module_name}.{name} missing docstring"
+
+    def test_core_public_methods_documented(self):
+        from repro.core.approximator import LoadValueApproximator
+
+        for name, member in inspect.getmembers(LoadValueApproximator):
+            if name.startswith("_") or not callable(member):
+                continue
+            assert member.__doc__, f"LoadValueApproximator.{name}"

@@ -1,0 +1,57 @@
+"""Tests for the repository utility scripts."""
+
+import sys
+from pathlib import Path
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+sys.path.insert(0, str(SCRIPTS))
+
+from fill_experiments_md import extract_tables, fill  # noqa: E402
+
+SAMPLE_LOG = """
+== Figure 6: normalized MPKI and output error vs confidence window ==
+benchmark         mpki-0%     error-0%
+blackscholes       0.9984       0.0002
+canneal            0.9997       0.0001
+average            0.9733       0.0010
+[fig6 completed in 45.2s]
+
+== Figure 12: static (distinct) PC count of approximate loads ==
+benchmark    static_approx_pcs
+x264             144.0000
+average           33.4286
+"""
+
+
+class TestExtractTables:
+    def test_finds_all_tables(self):
+        tables = extract_tables(SAMPLE_LOG)
+        assert set(tables) == {"Figure 6", "Figure 12"}
+
+    def test_table_content_complete(self):
+        tables = extract_tables(SAMPLE_LOG)
+        assert "canneal" in tables["Figure 6"]
+        assert tables["Figure 6"].splitlines()[-1].startswith("average")
+
+    def test_tolerates_noise(self):
+        noisy = "random pytest dots\n....\n" + SAMPLE_LOG + "\nPASSED\n"
+        assert len(extract_tables(noisy)) == 2
+
+
+class TestFill:
+    def test_replaces_placeholder(self):
+        md = "before\n<!-- TABLE:fig6 -->\nafter"
+        out = fill(md, extract_tables(SAMPLE_LOG))
+        assert "blackscholes" in out
+        assert out.index("before") < out.index("blackscholes") < out.index("after")
+
+    def test_idempotent(self):
+        md = "<!-- TABLE:fig12 -->"
+        tables = extract_tables(SAMPLE_LOG)
+        once = fill(md, tables)
+        twice = fill(once, tables)
+        assert once == twice
+
+    def test_missing_table_leaves_placeholder(self):
+        md = "<!-- TABLE:fig9 -->"
+        assert fill(md, extract_tables(SAMPLE_LOG)) == md

@@ -1,0 +1,53 @@
+"""Tests for the workload base-class helpers."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.frontend import PreciseMemory
+from repro.sim.tracesim import Mode, TraceSimulator
+from repro.workloads.base import run_precise, run_with_frontend
+from repro.workloads.registry import get_workload
+
+
+class TestRunHelpers:
+    def test_run_precise_returns_output_and_instructions(self):
+        workload = get_workload("swaptions", small=True)
+        output, instructions = run_precise(workload, seed=2)
+        assert len(output) == workload.params["n_swaptions"]
+        assert instructions > 0
+
+    def test_run_with_frontend_matches_execute(self):
+        workload = get_workload("swaptions", small=True)
+        via_helper = run_with_frontend(
+            get_workload("swaptions", small=True), PreciseMemory(), seed=2
+        )
+        direct = workload.execute(PreciseMemory(), 2)
+        assert workload.output_error(direct, via_helper) == 0.0
+
+    def test_run_with_simulating_frontend(self):
+        workload = get_workload("swaptions", small=True)
+        sim = TraceSimulator(Mode.PRECISE)
+        output = run_with_frontend(workload, sim, seed=2)
+        assert sim.finish().loads > 0
+        assert output
+
+
+class TestParameterMerging:
+    def test_small_params_overridable(self):
+        workload = get_workload("swaptions", {"n_swaptions": 4}, small=True)
+        assert workload.params["n_swaptions"] == 4
+        # Other small defaults retained.
+        assert workload.params["curve_points"] == 32
+
+    def test_defaults_complete(self):
+        for name in ("blackscholes", "canneal", "x264"):
+            workload = get_workload(name)
+            assert "compute_cost" in workload.params
+
+    def test_unknown_param_raises_with_name(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            get_workload("swaptions", {"bogus_knob": 1})
+        assert "bogus_knob" in str(excinfo.value)
+
+    def test_threads_default_four(self):
+        assert get_workload("ferret", small=True).threads == 4

@@ -1,0 +1,71 @@
+"""blackscholes-specific tests: pricing maths and input redundancy."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.frontend import PreciseMemory
+from repro.workloads.blackscholes import (
+    _SPOTS,
+    _SPOT_PROBS,
+    Blackscholes,
+    black_scholes_price,
+)
+
+
+class TestPricingFormula:
+    def test_call_put_parity(self):
+        spot, strike, rate, vol, time = 100.0, 95.0, 0.02, 0.25, 1.0
+        call = black_scholes_price(spot, strike, rate, vol, time, True)
+        put = black_scholes_price(spot, strike, rate, vol, time, False)
+        forward = spot - strike * math.exp(-rate * time)
+        assert call - put == pytest.approx(forward, abs=1e-9)
+
+    def test_deep_in_the_money_call_near_intrinsic(self):
+        price = black_scholes_price(200.0, 100.0, 0.0, 0.05, 0.1, True)
+        assert price == pytest.approx(100.0, rel=0.01)
+
+    def test_worthless_otm_put(self):
+        price = black_scholes_price(200.0, 100.0, 0.0, 0.05, 0.1, False)
+        assert price < 0.01
+
+    def test_price_increases_with_volatility(self):
+        low = black_scholes_price(100.0, 100.0, 0.02, 0.10, 1.0, True)
+        high = black_scholes_price(100.0, 100.0, 0.02, 0.50, 1.0, True)
+        assert high > low
+
+    def test_degenerate_inputs_do_not_crash(self):
+        assert black_scholes_price(0.0, 100.0, 0.02, 0.2, 1.0, True) >= 0.0
+        assert black_scholes_price(100.0, 100.0, 0.02, 0.0, 0.0, True) >= 0.0
+
+
+class TestInputRedundancy:
+    """The paper's observation: two spot values cover ~98% of options."""
+
+    def test_two_dominant_spot_values(self):
+        order = np.argsort(_SPOT_PROBS)[::-1]
+        assert _SPOT_PROBS[order[0]] + _SPOT_PROBS[order[1]] >= 0.95
+
+    def test_probabilities_normalised(self):
+        assert _SPOT_PROBS.sum() == pytest.approx(1.0)
+
+    def test_generated_portfolio_uses_spot_set(self):
+        workload = Blackscholes({"n_options": 64, "compute_cost": 10})
+        mem = PreciseMemory()
+        workload.execute(mem, seed=0)
+        spot_region = mem.space.region("spot")
+        spots = {mem.values[spot_region.addr(i)] for i in range(64)}
+        assert spots <= set(float(s) for s in _SPOTS)
+
+
+class TestOutputs:
+    def test_prices_nonnegative(self):
+        workload = Blackscholes.small()
+        prices = workload.execute(PreciseMemory(), seed=0)
+        assert all(price >= 0 for price in prices)
+
+    def test_one_price_per_option(self):
+        workload = Blackscholes({"n_options": 100, "compute_cost": 10})
+        prices = workload.execute(PreciseMemory(), seed=0)
+        assert len(prices) == 100

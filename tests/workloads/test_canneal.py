@@ -1,0 +1,71 @@
+"""canneal-specific tests: annealing dynamics and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.frontend import PreciseMemory
+from repro.workloads.canneal import Canneal
+
+
+def run_small(**overrides):
+    params = dict(Canneal.small_params())
+    params.update(overrides)
+    workload = Canneal(params)
+    return workload, workload.execute(PreciseMemory(), seed=0)
+
+
+class TestAnnealing:
+    def test_annealing_reduces_cost(self):
+        """The optimizer must actually optimize: more steps, lower cost."""
+        _, short_cost = run_small(steps=20)
+        _, long_cost = run_small(steps=2000)
+        assert long_cost < short_cost
+
+    def test_cost_positive(self):
+        _, cost = run_small()
+        assert cost > 0
+
+    def test_too_many_blocks_rejected(self):
+        with pytest.raises(WorkloadError):
+            run_small(n_blocks=4096, grid_width=16, grid_height=16)
+
+    def test_positions_stay_on_grid(self):
+        workload = Canneal(Canneal.small_params())
+        mem = PreciseMemory()
+        workload.execute(mem, seed=0)
+        region_x = mem.space.region("block_x")
+        region_y = mem.space.region("block_y")
+        n = workload.params["n_blocks"]
+        for i in range(n):
+            assert 0 <= mem.values[region_x.addr(i)] < workload.params["grid_width"]
+            assert 0 <= mem.values[region_y.addr(i)] < workload.params["grid_height"]
+
+    def test_swapped_positions_remain_a_permutation(self):
+        """Swaps must never duplicate or lose grid cells."""
+        workload = Canneal(Canneal.small_params())
+        mem = PreciseMemory()
+        workload.execute(mem, seed=0)
+        region_x = mem.space.region("block_x")
+        region_y = mem.space.region("block_y")
+        n = workload.params["n_blocks"]
+        positions = {
+            (mem.values[region_x.addr(i)], mem.values[region_y.addr(i)])
+            for i in range(n)
+        }
+        assert len(positions) == n  # still distinct cells
+
+
+class TestCostFunction:
+    def test_routing_cost_of_known_placement(self):
+        workload = Canneal(Canneal.small_params())
+        pos = np.array([[0, 0], [3, 4]])
+        nets = np.array([[1], [0]])
+        # Each block connects to the other: manhattan distance 7, twice.
+        assert workload._routing_cost(pos, nets) == 14.0
+
+    def test_identical_placement_zero_cost(self):
+        workload = Canneal(Canneal.small_params())
+        pos = np.array([[5, 5], [5, 5]])
+        nets = np.array([[1], [0]])
+        assert workload._routing_cost(pos, nets) == 0.0

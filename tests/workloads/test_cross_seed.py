@@ -1,0 +1,44 @@
+"""Cross-seed robustness: the paper averages 5 runs; shapes must not be a
+single-seed fluke. These tests run two seeds at small scale and check the
+*direction* of key effects holds for each."""
+
+import pytest
+
+from repro.core.config import ApproximatorConfig
+from repro.sim.tracesim import Mode, TraceSimulator
+from repro.workloads.registry import get_workload
+
+SEEDS = (1, 2)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestSeedRobustness:
+    def test_lva_reduces_effective_mpki_canneal(self, seed):
+        precise = TraceSimulator(Mode.PRECISE)
+        get_workload("canneal", small=True).execute(precise, seed)
+        p = precise.finish()
+        lva = TraceSimulator(Mode.LVA)
+        get_workload("canneal", small=True).execute(lva, seed)
+        l = lva.finish()
+        assert l.mpki < p.raw_mpki
+
+    def test_degree_cuts_fetch_ratio_x264(self, seed):
+        def fetch_ratio(degree):
+            config = ApproximatorConfig(approximation_degree=degree)
+            sim = TraceSimulator(Mode.LVA, approximator_config=config)
+            get_workload("x264", small=True).execute(sim, seed)
+            stats = sim.finish()
+            return stats.fetches / max(stats.raw_misses, 1)
+
+        assert fetch_ratio(8) < fetch_ratio(0)
+
+    def test_infinite_window_maximises_coverage_blackscholes(self, seed):
+        from repro.core.config import INFINITE_WINDOW
+
+        def coverage(window):
+            config = ApproximatorConfig(confidence_window=window)
+            sim = TraceSimulator(Mode.LVA, approximator_config=config)
+            get_workload("blackscholes", small=True).execute(sim, seed)
+            return sim.finish().coverage
+
+        assert coverage(INFINITE_WINDOW) >= coverage(0.10) >= coverage(0.0)

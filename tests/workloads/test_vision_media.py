@@ -1,0 +1,79 @@
+"""bodytrack and x264 specific tests: tracking quality, motion search."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.frontend import PreciseMemory
+from repro.workloads.bodytrack import Bodytrack
+from repro.workloads.x264 import X264
+
+
+class TestBodytrack:
+    def test_tracker_follows_the_body(self):
+        """Estimates should stay near the ground-truth path."""
+        workload = Bodytrack(Bodytrack.small_params())
+        estimates = workload.execute(PreciseMemory(), seed=0)
+        for t, (ex, ey) in enumerate(estimates):
+            tx, ty = workload._true_path(t)
+            distance = math.hypot(ex - tx, ey - ty)
+            diagonal = math.hypot(workload.params["width"], workload.params["height"])
+            assert distance < 0.35 * diagonal, (t, distance)
+
+    def test_one_estimate_per_timestep(self):
+        workload = Bodytrack(Bodytrack.small_params())
+        estimates = workload.execute(PreciseMemory(), seed=0)
+        assert len(estimates) == workload.params["timesteps"]
+
+    def test_rendered_images_are_8bit(self):
+        workload = Bodytrack(Bodytrack.small_params())
+        rng = np.random.default_rng(0)
+        image = workload._render(rng, (20.0, 20.0))
+        assert image.min() >= 0 and image.max() <= 255
+
+    def test_body_brighter_than_background(self):
+        workload = Bodytrack(Bodytrack.small_params())
+        rng = np.random.default_rng(0)
+        centre = (32.0, 24.0)
+        image = workload._render(rng, centre)
+        body_pixel = image[int(centre[1]), int(centre[0])]
+        corner_pixel = image[0, 0]
+        assert body_pixel > corner_pixel + 100
+
+
+class TestX264:
+    def test_motion_search_finds_global_motion(self):
+        """With low noise, the residual PSNR must beat the zero-MV case by
+        finding the synthetic global motion."""
+        workload = X264(X264.small_params())
+        result = workload.execute(PreciseMemory(), seed=0)
+        assert result["psnr"] > 25.0  # good prediction
+
+    def test_bits_positive(self):
+        workload = X264(X264.small_params())
+        result = workload.execute(PreciseMemory(), seed=0)
+        assert result["bits"] > 0
+
+    def test_output_keys(self):
+        workload = X264(X264.small_params())
+        result = workload.execute(PreciseMemory(), seed=0)
+        assert set(result) == {"psnr", "bits"}
+
+    def test_sequence_frames_clip_to_8bit(self):
+        workload = X264(X264.small_params())
+        frames = workload._sequence(np.random.default_rng(0))
+        assert len(frames) == workload.params["frames"]
+        for frame in frames:
+            assert frame.min() >= 0 and frame.max() <= 255
+
+    def test_consecutive_frames_are_shifted_copies(self):
+        """The synthetic motion model: frame f ~ frame f-1 shifted."""
+        workload = X264(X264.small_params())
+        frames = workload._sequence(np.random.default_rng(0))
+        a, b = frames[0].astype(float), frames[1].astype(float)
+        # Shift a by the known global delta (dx=+2, dy=+1 between f=0,1).
+        shifted = np.roll(np.roll(a, 1, axis=0), 2, axis=1)
+        unshifted_err = np.abs(b - a).mean()
+        shifted_err = np.abs(b - shifted).mean()
+        assert shifted_err < unshifted_err

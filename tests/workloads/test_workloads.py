@@ -1,0 +1,154 @@
+"""Cross-cutting tests over all seven PARSEC-substitute workloads.
+
+These use the reduced (``small``) instances so the whole module stays fast;
+full-scale behaviour is exercised by the benchmark harness.
+"""
+
+import pytest
+
+from repro.core.config import ApproximatorConfig
+from repro.sim.frontend import PreciseMemory
+from repro.sim.tracesim import Mode, TraceSimulator
+from repro.workloads.base import PCTable
+from repro.workloads.registry import WORKLOADS, get_workload, workload_names
+from repro.errors import WorkloadError
+
+ALL = workload_names()
+
+
+@pytest.fixture(scope="module")
+def precise_outputs():
+    """Precise outputs of every small workload, computed once."""
+    outputs = {}
+    for name in ALL:
+        workload = get_workload(name, small=True)
+        mem = PreciseMemory()
+        outputs[name] = (workload, workload.execute(mem, seed=7), mem.instructions)
+    return outputs
+
+
+class TestRegistry:
+    def test_all_seven_benchmarks_present(self):
+        assert set(ALL) == {
+            "blackscholes", "bodytrack", "canneal", "ferret",
+            "fluidanimate", "swaptions", "x264",
+        }
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("nonexistent")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("canneal", {"definitely_not_a_param": 1})
+
+    def test_param_override(self):
+        workload = get_workload("canneal", {"steps": 10}, small=True)
+        assert workload.params["steps"] == 10
+
+    def test_datatype_annotations_match_paper(self):
+        floats = {"blackscholes", "ferret", "fluidanimate", "swaptions"}
+        for name, cls in WORKLOADS.items():
+            assert cls.float_data == (name in floats)
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestDeterminism:
+    def test_same_seed_same_output(self, name, precise_outputs):
+        workload, output, _ = precise_outputs[name]
+        rerun = get_workload(name, small=True).execute(PreciseMemory(), seed=7)
+        assert workload.output_error(output, rerun) == 0.0
+
+    def test_zero_error_against_itself(self, name, precise_outputs):
+        workload, output, _ = precise_outputs[name]
+        assert workload.output_error(output, output) == 0.0
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestSimulatedExecution:
+    def test_precise_simulation_matches_reference(self, name, precise_outputs):
+        workload, reference, instructions = precise_outputs[name]
+        sim = TraceSimulator(Mode.PRECISE)
+        output = get_workload(name, small=True).execute(sim, seed=7)
+        assert workload.output_error(reference, output) == 0.0
+        # The precise simulator counts the same instructions as the
+        # functional reference.
+        assert sim.instructions == instructions
+
+    def test_lva_error_bounded(self, name, precise_outputs):
+        workload, reference, _ = precise_outputs[name]
+        sim = TraceSimulator(Mode.LVA)
+        output = get_workload(name, small=True).execute(sim, seed=7)
+        error = workload.output_error(reference, output)
+        assert 0.0 <= error <= 1.0
+
+    def test_lva_never_increases_effective_mpki(self, name, precise_outputs):
+        del precise_outputs
+        precise = TraceSimulator(Mode.PRECISE)
+        get_workload(name, small=True).execute(precise, seed=7)
+        precise_stats = precise.finish()
+        lva = TraceSimulator(Mode.LVA)
+        get_workload(name, small=True).execute(lva, seed=7)
+        lva_stats = lva.finish()
+        # Control-flow divergence can shift instruction counts slightly, so
+        # compare per-instruction rates with a small tolerance.
+        assert lva_stats.mpki <= precise_stats.raw_mpki * 1.05
+
+    def test_loads_touch_annotated_data(self, name, precise_outputs):
+        del precise_outputs
+        sim = TraceSimulator(Mode.LVA)
+        get_workload(name, small=True).execute(sim, seed=7)
+        stats = sim.finish()
+        assert stats.approx_loads > 0
+        assert stats.static_approx_pcs
+
+
+class TestPCTable:
+    def test_sites_stable_and_distinct(self):
+        table = PCTable(3)
+        a = table.site("alpha")
+        b = table.site("beta")
+        assert a != b
+        assert table.site("alpha") == a
+
+    def test_workload_id_namespaces(self):
+        assert PCTable(1).site("x") != PCTable(2).site("x")
+
+
+class TestErrorMetrics:
+    def test_blackscholes_counts_prices_over_1_percent(self):
+        workload = get_workload("blackscholes", small=True)
+        precise = [100.0, 100.0, 100.0, 100.0]
+        approx = [100.5, 102.0, 100.0, 97.0]  # two beyond 1%
+        assert workload.output_error(precise, approx) == pytest.approx(0.5)
+
+    def test_swaptions_mean_relative_error(self):
+        workload = get_workload("swaptions", small=True)
+        assert workload.output_error([1.0, 2.0], [1.1, 2.0]) == pytest.approx(0.05)
+
+    def test_canneal_relative_cost_error(self):
+        workload = get_workload("canneal", small=True)
+        assert workload.output_error(1000.0, 1100.0) == pytest.approx(0.1)
+
+    def test_ferret_intersection_metric(self):
+        workload = get_workload("ferret", small=True)
+        precise = [{1, 2, 3, 4}]
+        approx = [{1, 2, 9, 10}]
+        assert workload.output_error(precise, approx) == pytest.approx(0.5)
+
+    def test_fluidanimate_cell_mismatch_fraction(self):
+        workload = get_workload("fluidanimate", small=True)
+        assert workload.output_error([1, 2, 3, 4], [1, 2, 9, 9]) == pytest.approx(0.5)
+
+    def test_bodytrack_distance_normalised(self):
+        workload = get_workload("bodytrack", small=True)
+        assert workload.output_error([(0.0, 0.0)], [(0.0, 0.0)]) == 0.0
+        assert workload.output_error([(0.0, 0.0)], [(30.0, 40.0)]) > 0
+
+    def test_x264_psnr_and_bits_weighted(self):
+        workload = get_workload("x264", small=True)
+        precise = {"psnr": 40.0, "bits": 1000.0}
+        approx = {"psnr": 36.0, "bits": 1100.0}
+        assert workload.output_error(precise, approx) == pytest.approx(
+            0.5 * 0.1 + 0.5 * 0.1
+        )
