@@ -9,6 +9,14 @@ trade-off moves, where the crossovers sit.
 
 import pytest
 
+from repro.experiments import diskcache
+
+
+@pytest.fixture(autouse=True)
+def _no_disk_cache(monkeypatch):
+    """Benchmarks must measure real simulations, never disk-cache reads."""
+    monkeypatch.setenv(diskcache.NO_CACHE_ENV, "1")
+
 
 def run_experiment(benchmark, driver, **kwargs):
     """Run an experiment driver exactly once under pytest-benchmark."""

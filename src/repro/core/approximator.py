@@ -18,19 +18,25 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple, Union
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import math
 
 from repro.core.config import ApproximatorConfig
 from repro.core.confidence import confidence_update_steps
 from repro.core.entry import ApproximatorEntry
-from repro.core.functions import compute_approximation
+from repro.core.functions import COMPUTE_FUNCTIONS
 from repro.core.hashing import context_hash
 from repro.core.history import HistoryBuffer
+from repro.errors import ConfigurationError
 
 Number = Union[int, float]
 
+#: Shared empty result for :meth:`DelayQueue.tick` when nothing is due.
+_NOTHING_DUE: Tuple = ()
 
-@dataclass
+
+@dataclass(slots=True)
 class TrainToken:
     """Ties an in-flight fetch back to the table entry that requested it.
 
@@ -49,7 +55,7 @@ class TrainToken:
     is_float: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class ApproximationDecision:
     """Outcome of one load miss presented to the approximator."""
 
@@ -107,12 +113,21 @@ class DelayQueue:
         """Schedule ``(token, actual)`` to become due after the delay."""
         self._pending.append((self._clock + self._delay, token, actual))
 
-    def tick(self) -> List[Tuple[TrainToken, Number]]:
-        """Advance one load instruction; return the trainings now due."""
-        self._clock += 1
+    def tick(self) -> Sequence[Tuple[TrainToken, Number]]:
+        """Advance one load instruction; return the trainings now due.
+
+        The common case — nothing pending, or nothing due yet — returns a
+        shared empty tuple, so ticking once per load instruction allocates
+        nothing on hit-dominated or technique-free paths.
+        """
+        clock = self._clock + 1
+        self._clock = clock
+        pending = self._pending
+        if not pending or pending[0][0] > clock:
+            return _NOTHING_DUE
         due: List[Tuple[TrainToken, Number]] = []
-        while self._pending and self._pending[0][0] <= self._clock:
-            _, token, actual = self._pending.popleft()
+        while pending and pending[0][0] <= clock:
+            _, token, actual = pending.popleft()
             due.append((token, actual))
         return due
 
@@ -143,6 +158,29 @@ class LoadValueApproximator:
         # Entries are allocated lazily: a hardware table is all-invalid at
         # reset, and most workloads touch a small fraction of the 512 slots.
         self._table: Dict[int, ApproximatorEntry] = {}
+        # Config-derived constants, hoisted out of the per-miss path (the
+        # dataclass properties and registry lookups are measurable there).
+        config = self.config
+        self._index_bits = config.index_bits
+        self._tag_bits = config.tag_bits
+        self._drop_bits = config.mantissa_drop_bits
+        try:
+            self._compute = COMPUTE_FUNCTIONS[config.compute_fn]
+        except KeyError:
+            known = ", ".join(sorted(COMPUTE_FUNCTIONS))
+            raise ConfigurationError(
+                f"unknown compute function {config.compute_fn!r} (known: {known})"
+            )
+        self._window = config.confidence_window
+        self._window_is_inf = math.isinf(config.confidence_window)
+        self._step_max = config.confidence_step_max
+        self._gate_float = config.apply_confidence_to_floats
+        self._gate_int = config.apply_confidence_to_ints
+        # With the baseline's empty GHB the context hash is a pure function
+        # of the PC, so (index, tag) pairs are memoised per PC.
+        self._pc_hashes: Optional[Dict[int, Tuple[int, int]]] = (
+            {} if config.ghb_size == 0 else None
+        )
 
     # ------------------------------------------------------------------ #
     # Lookup / generation                                                #
@@ -154,13 +192,22 @@ class LoadValueApproximator:
         Returns the entry, whether the lookup hit an entry already trained
         for this context (tag match), and the (index, tag) pair.
         """
-        index, tag = context_hash(
-            pc,
-            self.ghb.values(),
-            self.config.index_bits,
-            self.config.tag_bits,
-            self.config.mantissa_drop_bits,
-        )
+        pc_hashes = self._pc_hashes
+        if pc_hashes is not None:
+            hashed = pc_hashes.get(pc)
+            if hashed is None:
+                hashed = pc_hashes[pc] = context_hash(
+                    pc, (), self._index_bits, self._tag_bits, self._drop_bits
+                )
+            index, tag = hashed
+        else:
+            index, tag = context_hash(
+                pc,
+                self.ghb.values(),
+                self._index_bits,
+                self._tag_bits,
+                self._drop_bits,
+            )
         entry = self._table.get(index)
         if entry is None:
             entry = ApproximatorEntry(
@@ -189,12 +236,13 @@ class LoadValueApproximator:
         ``decision.fetch`` is set, and for feeding the actual value back via
         :meth:`train` (after the value delay) using ``decision.token``.
         """
-        self.stats.lookups += 1
-        self.stats.static_pcs.add(pc)
+        stats = self.stats
+        stats.lookups += 1
+        stats.static_pcs.add(pc)
         entry, tag_hit, index, tag = self._locate(pc)
 
         if not tag_hit:
-            self.stats.tag_misses += 1
+            stats.tag_misses += 1
             return ApproximationDecision(
                 approximated=False,
                 value=None,
@@ -202,8 +250,9 @@ class LoadValueApproximator:
                 token=TrainToken(index, tag, None, is_float),
             )
 
-        if not entry.can_generate:
-            self.stats.cold_misses += 1
+        lhb = entry.lhb
+        if not lhb:
+            stats.cold_misses += 1
             return ApproximationDecision(
                 approximated=False,
                 value=None,
@@ -211,12 +260,13 @@ class LoadValueApproximator:
                 token=TrainToken(index, tag, None, is_float),
             )
 
-        shadow = compute_approximation(
-            entry.lhb.values(), self.config.compute_fn, is_float
-        )
+        shadow = self._compute(lhb.view())
+        if not is_float:
+            shadow = int(round(shadow))
 
-        if self._confidence_gates(is_float) and not entry.confidence.is_confident:
-            self.stats.low_confidence_rejections += 1
+        gated = self._gate_float if is_float else self._gate_int
+        if gated and not entry.confidence.is_confident:
+            stats.low_confidence_rejections += 1
             # The miss proceeds precisely, but the fetch still trains the
             # entry — confidence can recover once approximations would have
             # been accurate again.
@@ -227,12 +277,12 @@ class LoadValueApproximator:
                 token=TrainToken(index, tag, shadow, is_float),
             )
 
-        self.stats.approximations += 1
+        stats.approximations += 1
         if entry.consume_degree():
             # Degree counter still above zero: reuse the value, skip the
             # fetch entirely (Section III-C). The LHB is untouched, so the
             # next approximation from this entry returns the same value.
-            self.stats.fetches_skipped += 1
+            stats.fetches_skipped += 1
             return ApproximationDecision(
                 approximated=True, value=shadow, fetch=False, token=None
             )
@@ -256,28 +306,34 @@ class LoadValueApproximator:
         the confidence counter against the relaxed window, and resets the
         degree counter.
         """
-        self.stats.trainings += 1
-        self.ghb.push(actual)
+        stats = self.stats
+        stats.trainings += 1
+        if self._pc_hashes is None:
+            self.ghb.push(actual)
         entry = self._table.get(token.index)
         if entry is None or entry.tag != token.tag:
             # The entry was re-allocated while the fetch was in flight; the
             # training is stale and only the GHB benefits.
-            self.stats.stale_trainings += 1
+            stats.stale_trainings += 1
             return
         entry.lhb.push(actual)
         entry.reset_degree()
-        if token.shadow_value is not None:
-            steps = confidence_update_steps(
-                token.shadow_value,
-                actual,
-                self.config.confidence_window,
-                self.config.confidence_step_max,
-            )
+        shadow = token.shadow_value
+        if shadow is not None:
+            if self._step_max == 1 and not self._window_is_inf:
+                # Baseline +1/-1 updates: a plain window test, inlined —
+                # exactly confidence_update_steps() specialised to step 1.
+                denom = self._window * abs(actual) if actual != 0 else self._window
+                steps = 1 if abs(shadow - actual) <= denom else -1
+            else:
+                steps = confidence_update_steps(
+                    shadow, actual, self._window, self._step_max
+                )
             entry.confidence.add(steps)
             if steps > 0:
-                self.stats.confidence_increments += 1
+                stats.confidence_increments += 1
             else:
-                self.stats.confidence_decrements += 1
+                stats.confidence_decrements += 1
 
     # ------------------------------------------------------------------ #
     # Introspection                                                      #

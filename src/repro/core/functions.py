@@ -31,10 +31,19 @@ def last_value(values: Sequence[Number]) -> float:
 
 
 def stride(values: Sequence[Number]) -> float:
-    """Newest value plus the average stride between consecutive values."""
+    """Newest value plus the average stride between consecutive values.
+
+    Accepts any iterable-indexable container (the hot path passes the LHB's
+    underlying deque, which does not support slicing).
+    """
     if len(values) < 2:
         return float(values[-1])
-    deltas = [b - a for a, b in zip(values, values[1:])]
+    deltas = []
+    prev = None
+    for value in values:
+        if prev is not None:
+            deltas.append(value - prev)
+        prev = value
     return float(values[-1]) + sum(deltas) / len(deltas)
 
 

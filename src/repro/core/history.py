@@ -50,8 +50,17 @@ class HistoryBuffer:
         self._values.append(value)
 
     def values(self) -> Tuple[Number, ...]:
-        """The retained values, oldest first."""
+        """The retained values, oldest first (an immutable copy)."""
         return tuple(self._values)
+
+    def view(self) -> "deque[Number]":
+        """The underlying deque, oldest first — **read-only** by contract.
+
+        Exists for the per-miss hot path, which applies a computation
+        function to the LHB on every approximator lookup; :meth:`values`
+        would copy into a fresh tuple each time.
+        """
+        return self._values
 
     def newest(self) -> Number:
         """The most recently pushed value.

@@ -26,6 +26,7 @@ from repro.experiments.common import (
     ExperimentResult,
     run_technique,
 )
+from repro.experiments.sweep import technique_point
 from repro.sim.tracesim import Mode
 
 TABLE_SIZES: Tuple[int, ...] = (32, 64, 128, 256, 512)
@@ -33,6 +34,21 @@ LHB_SIZES: Tuple[int, ...] = (1, 2, 4, 8)
 CONFIDENCE_STEPS: Tuple[int, ...] = (1, 2, 4)
 #: Benchmarks with integer-typed annotated data (Section IV-A).
 INT_WORKLOADS: Tuple[str, ...] = ("bodytrack", "canneal", "x264")
+
+
+def table_size_points(small: bool = False, seed: int = 0):
+    """Sweep points for :func:`table_size`."""
+    return [
+        technique_point(
+            name,
+            Mode.LVA,
+            ApproximatorConfig(table_entries=entries),
+            seed=seed,
+            small=small,
+        )
+        for name in BASELINE_WORKLOADS
+        for entries in TABLE_SIZES
+    ]
 
 
 def table_size(small: bool = False, seed: int = 0) -> ExperimentResult:
@@ -50,6 +66,17 @@ def table_size(small: bool = False, seed: int = 0) -> ExperimentResult:
     return result
 
 
+def lhb_size_points(small: bool = False, seed: int = 0):
+    """Sweep points for :func:`lhb_size`."""
+    return [
+        technique_point(
+            name, Mode.LVA, ApproximatorConfig(lhb_size=size), seed=seed, small=small
+        )
+        for name in BASELINE_WORKLOADS
+        for size in LHB_SIZES
+    ]
+
+
 def lhb_size(small: bool = False, seed: int = 0) -> ExperimentResult:
     """Sweep the local-history depth feeding the AVERAGE function."""
     result = ExperimentResult(
@@ -63,6 +90,17 @@ def lhb_size(small: bool = False, seed: int = 0) -> ExperimentResult:
             result.add(f"mpki-lhb-{size}", name, lva.normalized_mpki)
             result.add(f"error-lhb-{size}", name, lva.output_error)
     return result
+
+
+def compute_function_points(small: bool = False, seed: int = 0):
+    """Sweep points for :func:`compute_function`."""
+    return [
+        technique_point(
+            name, Mode.LVA, ApproximatorConfig(compute_fn=fn), seed=seed, small=small
+        )
+        for name in BASELINE_WORKLOADS
+        for fn in sorted(COMPUTE_FUNCTIONS)
+    ]
 
 
 def compute_function(small: bool = False, seed: int = 0) -> ExperimentResult:
@@ -79,6 +117,21 @@ def compute_function(small: bool = False, seed: int = 0) -> ExperimentResult:
             result.add(f"mpki-{fn}", name, lva.normalized_mpki)
             result.add(f"error-{fn}", name, lva.output_error)
     return result
+
+
+def int_confidence_points(small: bool = False, seed: int = 0):
+    """Sweep points for :func:`int_confidence`."""
+    return [
+        technique_point(
+            name,
+            Mode.LVA,
+            ApproximatorConfig(apply_confidence_to_ints=gated),
+            seed=seed,
+            small=small,
+        )
+        for name in INT_WORKLOADS
+        for gated in (False, True)
+    ]
 
 
 def int_confidence(small: bool = False, seed: int = 0) -> ExperimentResult:
@@ -108,6 +161,25 @@ def int_confidence(small: bool = False, seed: int = 0) -> ExperimentResult:
         result.add("error-no-confidence", name, off.output_error)
         result.add("error-confidence", name, on.output_error)
     return result
+
+
+def confidence_steps_points(small: bool = False, seed: int = 0):
+    """Sweep points for :func:`confidence_steps`."""
+    return [
+        technique_point(
+            name,
+            Mode.LVA,
+            ApproximatorConfig(
+                confidence_step_max=step,
+                apply_confidence_to_ints=True,
+                apply_confidence_to_floats=True,
+            ),
+            seed=seed,
+            small=small,
+        )
+        for name in BASELINE_WORKLOADS
+        for step in CONFIDENCE_STEPS
+    ]
 
 
 def confidence_steps(small: bool = False, seed: int = 0) -> ExperimentResult:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import ApproximatorConfig
+from repro.experiments import diskcache
 from repro.fullsystem import FullSystemConfig, FullSystemResult, FullSystemSimulator
 from repro.sim.trace import Trace, TraceRecorder
 from repro.sim.tracesim import Mode, TraceSimulator
@@ -152,18 +153,76 @@ class PreciseReference:
 _PRECISE_CACHE: Dict[Tuple[str, int, bool, tuple], PreciseReference] = {}
 
 
+#: Per-process counts of simulations actually *executed* (cache misses all
+#: the way down). The sweep engine aggregates these across workers to
+#: verify its exactly-once guarantee for precise baselines.
+@dataclass
+class ComputeCounters:
+    """How many results this process computed vs. served from a cache."""
+
+    precise_computed: int = 0
+    precise_memory_hits: int = 0
+    precise_disk_hits: int = 0
+    technique_computed: int = 0
+    technique_memory_hits: int = 0
+    technique_disk_hits: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "precise_computed": self.precise_computed,
+            "precise_memory_hits": self.precise_memory_hits,
+            "precise_disk_hits": self.precise_disk_hits,
+            "technique_computed": self.technique_computed,
+            "technique_memory_hits": self.technique_memory_hits,
+            "technique_disk_hits": self.technique_disk_hits,
+        }
+
+    def merge(self, other: Dict[str, int]) -> None:
+        """Accumulate a worker's counter snapshot into this one."""
+        for field_name, value in other.items():
+            setattr(self, field_name, getattr(self, field_name) + value)
+
+
+COMPUTE_COUNTERS = ComputeCounters()
+
+
 def _workload(name: str, small: bool, params: Optional[dict] = None):
     return get_workload(name, params=params, small=small)
+
+
+def _precise_disk_key(
+    name: str, seed: int, small: bool, params_items: tuple
+) -> str:
+    return diskcache.point_key(
+        "precise", workload=name, seed=seed, small=small, params=params_items
+    )
 
 
 def run_precise_reference(
     name: str, seed: int = 0, small: bool = False, params: Optional[dict] = None
 ) -> PreciseReference:
-    """Precise run through the phase-1 simulator (cached)."""
-    key = (name, seed, small, tuple(sorted((params or {}).items())))
+    """Precise run through the phase-1 simulator.
+
+    Three cache layers are consulted in order: the in-process dict, the
+    on-disk :mod:`~repro.experiments.diskcache` layer (shared across
+    worker processes and invocations), then the simulation itself. The
+    simulations are deterministic, so every layer returns identical data.
+    """
+    params_items = tuple(sorted((params or {}).items()))
+    key = (name, seed, small, params_items)
     cached = _PRECISE_CACHE.get(key)
     if cached is not None:
+        COMPUTE_COUNTERS.precise_memory_hits += 1
         return cached
+    disk = diskcache.active_cache()
+    disk_key = None
+    if disk is not None:
+        disk_key = _precise_disk_key(name, seed, small, params_items)
+        stored = disk.get(disk_key)
+        if isinstance(stored, PreciseReference):
+            COMPUTE_COUNTERS.precise_disk_hits += 1
+            _PRECISE_CACHE[key] = stored
+            return stored
     workload = _workload(name, small, params)
     sim = TraceSimulator(Mode.PRECISE)
     output = workload.execute(sim, seed)
@@ -174,7 +233,10 @@ def run_precise_reference(
         mpki=stats.raw_mpki,
         fetches_per_ki=stats.fetches_per_kilo_instruction,
     )
+    COMPUTE_COUNTERS.precise_computed += 1
     _PRECISE_CACHE[key] = reference
+    if disk is not None:
+        disk.put(disk_key, reference)
     return reference
 
 
@@ -211,13 +273,30 @@ def run_technique(
     evaluation in one process. Simulations are deterministic, making the
     cache semantically invisible.
     """
-    key = (
-        name, mode, config, prefetch_degree, seed, small,
-        tuple(sorted((params or {}).items())),
-    )
+    params_items = tuple(sorted((params or {}).items()))
+    key = (name, mode, config, prefetch_degree, seed, small, params_items)
     cached = _TECHNIQUE_CACHE.get(key)
     if cached is not None:
+        COMPUTE_COUNTERS.technique_memory_hits += 1
         return cached
+    disk = diskcache.active_cache()
+    disk_key = None
+    if disk is not None:
+        disk_key = diskcache.point_key(
+            "technique",
+            workload=name,
+            mode=mode,
+            config=config if config is not None else ApproximatorConfig(),
+            prefetch_degree=prefetch_degree,
+            seed=seed,
+            small=small,
+            params=params_items,
+        )
+        stored = disk.get(disk_key)
+        if isinstance(stored, TechniqueResult):
+            COMPUTE_COUNTERS.technique_disk_hits += 1
+            _TECHNIQUE_CACHE[key] = stored
+            return stored
     reference = run_precise_reference(name, seed, small, params)
     workload = _workload(name, small, params)
     sim = TraceSimulator(
@@ -246,7 +325,10 @@ def run_technique(
         static_approx_pcs=len(stats.static_approx_pcs),
         raw=stats.as_dict(),
     )
+    COMPUTE_COUNTERS.technique_computed += 1
     _TECHNIQUE_CACHE[key] = outcome
+    if disk is not None:
+        disk.put(disk_key, outcome)
     return outcome
 
 
@@ -288,7 +370,16 @@ def run_fullsystem(
 
 
 def reset_caches() -> None:
-    """Drop cached references, technique results and traces."""
+    """Drop cached references, technique results and traces — every layer.
+
+    Also clears the persistent disk cache (when enabled) and the compute
+    counters, so a reset really does force fresh simulations.
+    """
     _PRECISE_CACHE.clear()
     _TECHNIQUE_CACHE.clear()
     _TRACE_CACHE.clear()
+    disk = diskcache.active_cache()
+    if disk is not None:
+        disk.clear()
+    global COMPUTE_COUNTERS
+    COMPUTE_COUNTERS = ComputeCounters()

@@ -1,0 +1,251 @@
+"""A persistent, cross-process result cache for experiment sweep points.
+
+The in-process caches of :mod:`repro.experiments.common` die with the
+process, so parallel workers (and successive CLI invocations) redundantly
+re-run every precise baseline and every shared technique point. This
+module adds a third cache layer on disk:
+
+* **Keys** are stable content hashes: every field of the
+  :class:`~repro.core.config.ApproximatorConfig`, the workload name, seed,
+  scale, workload params and a :data:`SCHEMA_VERSION` are serialised into
+  a canonical string and SHA-256 hashed, so the same sweep point maps to
+  the same file from any process on any run — and any change to the result
+  schema invalidates every stale entry at once.
+* **Records** (:class:`~repro.experiments.common.PreciseReference` /
+  :class:`~repro.experiments.common.TechniqueResult`) are pickled to one
+  file per key, written atomically (temp file + ``os.replace``) so
+  concurrent writers can never expose a torn entry.
+* Because the simulations are deterministic, serving a record from disk is
+  semantically invisible: a cached result is bit-identical to recomputing.
+
+Disable the layer with the ``REPRO_NO_CACHE`` environment variable or the
+CLI's ``--no-cache`` flag; relocate it with ``REPRO_CACHE_DIR`` (default:
+``~/.cache/repro-lva``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+#: Bump when PreciseReference/TechniqueResult fields or the simulation
+#: semantics change: every existing on-disk entry becomes unreachable
+#: (different key) instead of silently deserialising stale science.
+SCHEMA_VERSION = 1
+
+#: Environment variable that disables the disk layer entirely.
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache location: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-lva``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-lva"
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_NO_CACHE`` is set (to anything non-empty)."""
+    return not os.environ.get(NO_CACHE_ENV)
+
+
+# --------------------------------------------------------------------- #
+# Keys                                                                  #
+# --------------------------------------------------------------------- #
+
+
+def _canonical(value: object) -> str:
+    """A stable, process-independent textual form of a key component.
+
+    Dataclasses (e.g. ApproximatorConfig) expand to sorted field=value
+    pairs; enums to their value; dicts to sorted items; floats through
+    repr (exact for round-trippable IEEE doubles, including inf).
+    """
+    if isinstance(value, enum.Enum):
+        # Enum members: identify by class + name, not object identity.
+        return f"{type(value).__name__}.{value.name}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = sorted(
+            (f.name, getattr(value, f.name)) for f in dataclasses.fields(value)
+        )
+        inner = ",".join(f"{name}={_canonical(v)}" for name, v in fields)
+        return f"{type(value).__name__}({inner})"
+    if isinstance(value, dict):
+        inner = ",".join(
+            f"{_canonical(k)}:{_canonical(v)}" for k, v in sorted(value.items())
+        )
+        return f"{{{inner}}}"
+    if isinstance(value, (list, tuple)):
+        inner = ",".join(_canonical(v) for v in value)
+        return f"[{inner}]"
+    return repr(value)
+
+
+def point_key(kind: str, **components: object) -> str:
+    """SHA-256 content hash identifying one cached record.
+
+    ``kind`` separates record namespaces ("precise", "technique");
+    components are the full defining configuration of the point. The
+    schema version participates in the hash, so bumping it orphans every
+    older entry.
+    """
+    payload = f"schema={SCHEMA_VERSION};kind={kind};" + ";".join(
+        f"{name}={_canonical(value)}" for name, value in sorted(components.items())
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# The cache                                                             #
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class DiskCacheStats:
+    """Hit/miss/store counters for one process's view of the disk layer."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+@dataclass
+class DiskCache:
+    """One directory of pickled records, one file per content-hash key.
+
+    Safe under concurrent writers: entries are immutable once written
+    (same key ⇒ same deterministic content) and writes go through a
+    temporary file renamed into place, which is atomic on POSIX. A racing
+    duplicate write just replaces identical bytes.
+    """
+
+    directory: Path = field(default_factory=default_cache_dir)
+    stats: DiskCacheStats = field(default_factory=DiskCacheStats)
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directory listings manageable for large
+        # sweeps (thousands of points).
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[object]:
+        """The stored record, or None when absent or unreadable.
+
+        A corrupt entry (torn by a crash mid-rename on a non-POSIX
+        filesystem, or truncated by disk pressure) counts as a miss and is
+        deleted so the slot heals on the next store.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                record = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, key: str, record: object) -> None:
+        """Store ``record`` under ``key`` atomically; failures are silent.
+
+        The cache is an accelerator, never a correctness dependency — a
+        full disk or read-only cache dir degrades to recomputation.
+        """
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self.stats.stores += 1
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if not self.directory.exists():
+            return removed
+        for path in self.directory.glob("*/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+
+
+# --------------------------------------------------------------------- #
+# Process-wide default instance                                         #
+# --------------------------------------------------------------------- #
+
+_ACTIVE: Optional[DiskCache] = None
+_ACTIVE_DIR: Optional[Path] = None
+_DISABLED_OVERRIDE = False
+
+
+def active_cache() -> Optional[DiskCache]:
+    """The process-wide cache, or None when the layer is disabled.
+
+    Re-resolves the directory from the environment on every call cheaply
+    (compares, does not recreate), so tests that monkeypatch
+    ``REPRO_CACHE_DIR`` or ``REPRO_NO_CACHE`` see the change immediately —
+    and so worker processes inherit the parent's configuration through the
+    environment with no extra plumbing.
+    """
+    global _ACTIVE, _ACTIVE_DIR
+    if _DISABLED_OVERRIDE or not cache_enabled():
+        return None
+    directory = default_cache_dir()
+    if _ACTIVE is None or _ACTIVE_DIR != directory:
+        _ACTIVE = DiskCache(directory=directory)
+        _ACTIVE_DIR = directory
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Programmatically switch the disk layer off (CLI ``--no-cache``)."""
+    global _DISABLED_OVERRIDE
+    _DISABLED_OVERRIDE = True
+    # Workers spawned after this point must inherit the decision.
+    os.environ[NO_CACHE_ENV] = "1"
+
+
+def enable() -> None:
+    """Re-enable the disk layer after :func:`disable` (mainly for tests)."""
+    global _DISABLED_OVERRIDE
+    _DISABLED_OVERRIDE = False
+    os.environ.pop(NO_CACHE_ENV, None)

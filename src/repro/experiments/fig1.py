@@ -15,10 +15,20 @@ import math
 from typing import List, Optional, Tuple
 
 from repro.experiments.common import ExperimentResult, run_precise_reference
+from repro.experiments.sweep import precise_point
 from repro.sim.tracesim import Mode, TraceSimulator
 from repro.workloads.registry import get_workload
 
 WORKLOAD = "bodytrack"
+
+
+def points(small: bool = False, seed: int = 0):
+    """The sweep points :func:`run` consumes (for the parallel engine).
+
+    Only the precise reference is cacheable; the LVA track comparison
+    runs inline because it inspects the raw output, not a TechniqueResult.
+    """
+    return [precise_point(WORKLOAD, seed=seed, small=small)]
 
 
 def run(small: bool = False, seed: int = 0) -> ExperimentResult:

@@ -13,7 +13,16 @@ from repro.experiments.common import (
     ExperimentResult,
     run_technique,
 )
+from repro.experiments.sweep import technique_point
 from repro.sim.tracesim import Mode
+
+
+def points(small: bool = False, seed: int = 0):
+    """The sweep points :func:`run` consumes (for the parallel engine)."""
+    return [
+        technique_point(name, Mode.LVA, seed=seed, small=small)
+        for name in BASELINE_WORKLOADS
+    ]
 
 
 def run(small: bool = False, seed: int = 0) -> ExperimentResult:

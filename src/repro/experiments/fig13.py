@@ -13,10 +13,28 @@ from typing import Tuple
 
 from repro.core.config import ApproximatorConfig
 from repro.experiments.common import ExperimentResult, run_technique
+from repro.experiments.sweep import technique_point
 from repro.sim.tracesim import Mode
 
 PRECISION_LOSS_BITS: Tuple[int, ...] = (0, 5, 11, 17, 23)
 WORKLOAD = "fluidanimate"
+
+
+def _config(bits: int) -> ApproximatorConfig:
+    return ApproximatorConfig(
+        ghb_size=2,
+        mantissa_drop_bits=bits,
+        apply_confidence_to_floats=False,
+        apply_confidence_to_ints=False,
+    )
+
+
+def points(small: bool = False, seed: int = 0):
+    """The sweep points :func:`run` consumes (for the parallel engine)."""
+    return [
+        technique_point(WORKLOAD, Mode.LVA, _config(bits), seed=seed, small=small)
+        for bits in PRECISION_LOSS_BITS
+    ]
 
 
 def run(small: bool = False, seed: int = 0) -> ExperimentResult:

@@ -10,7 +10,7 @@ the approximator index, especially for floating-point data.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Tuple
 
 from repro.core.config import ApproximatorConfig
 from repro.experiments.common import (
@@ -18,9 +18,21 @@ from repro.experiments.common import (
     ExperimentResult,
     run_technique,
 )
+from repro.experiments.sweep import SweepPoint, technique_point
 from repro.sim.tracesim import Mode
 
 GHB_SIZES: Tuple[int, ...] = (0, 1, 2, 4)
+
+
+def points(small: bool = False, seed: int = 0) -> List[SweepPoint]:
+    """The sweep points :func:`run` consumes (for the parallel engine)."""
+    out: List[SweepPoint] = []
+    for name in BASELINE_WORKLOADS:
+        for ghb in GHB_SIZES:
+            config = ApproximatorConfig(ghb_size=ghb)
+            out.append(technique_point(name, Mode.LVP, config, seed=seed, small=small))
+            out.append(technique_point(name, Mode.LVA, config, seed=seed, small=small))
+    return out
 
 
 def run(small: bool = False, seed: int = 0) -> ExperimentResult:

@@ -8,6 +8,8 @@ patterns correlate several distinct properties (fluidanimate).
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.core.config import ApproximatorConfig
 from repro.experiments.common import (
     BASELINE_WORKLOADS,
@@ -15,7 +17,19 @@ from repro.experiments.common import (
     run_technique,
 )
 from repro.experiments.fig4 import GHB_SIZES
+from repro.experiments.sweep import SweepPoint, technique_point
 from repro.sim.tracesim import Mode
+
+
+def points(small: bool = False, seed: int = 0) -> List[SweepPoint]:
+    """Every point here also appears in Figure 4 — the engine dedupes."""
+    return [
+        technique_point(
+            name, Mode.LVA, ApproximatorConfig(ghb_size=ghb), seed=seed, small=small
+        )
+        for name in BASELINE_WORKLOADS
+        for ghb in GHB_SIZES
+    ]
 
 
 def run(small: bool = False, seed: int = 0) -> ExperimentResult:

@@ -18,6 +18,7 @@ from repro.experiments.common import (
     ExperimentResult,
     run_technique,
 )
+from repro.experiments.sweep import technique_point
 from repro.sim.tracesim import Mode
 
 #: (label, window) points of the sweep.
@@ -39,6 +40,15 @@ def _config(window: float) -> ApproximatorConfig:
         apply_confidence_to_floats=True,
         apply_confidence_to_ints=True,
     )
+
+
+def points(small: bool = False, seed: int = 0):
+    """The sweep points :func:`run` consumes (for the parallel engine)."""
+    return [
+        technique_point(name, Mode.LVA, _config(window), seed=seed, small=small)
+        for name in BASELINE_WORKLOADS
+        for _, window in WINDOWS
+    ]
 
 
 def run(small: bool = False, seed: int = 0) -> ExperimentResult:

@@ -17,9 +17,21 @@ from repro.experiments.common import (
     ExperimentResult,
     run_technique,
 )
+from repro.experiments.sweep import technique_point
 from repro.sim.tracesim import Mode
 
 DELAYS: Tuple[int, ...] = (4, 8, 16, 32)
+
+
+def points(small: bool = False, seed: int = 0):
+    """The sweep points :func:`run` consumes (for the parallel engine)."""
+    return [
+        technique_point(
+            name, Mode.LVA, ApproximatorConfig(value_delay=delay), seed=seed, small=small
+        )
+        for name in BASELINE_WORKLOADS
+        for delay in DELAYS
+    ]
 
 
 def run(small: bool = False, seed: int = 0) -> ExperimentResult:

@@ -17,9 +17,32 @@ from repro.experiments.common import (
     ExperimentResult,
     run_technique,
 )
+from repro.experiments.sweep import technique_point
 from repro.sim.tracesim import Mode
 
 DEGREES: Tuple[int, ...] = (2, 4, 8, 16)
+
+
+def points(small: bool = False, seed: int = 0):
+    """The sweep points :func:`run` consumes (for the parallel engine)."""
+    out = []
+    for name in BASELINE_WORKLOADS:
+        for degree in DEGREES:
+            out.append(
+                technique_point(
+                    name, Mode.PREFETCH, prefetch_degree=degree, seed=seed, small=small
+                )
+            )
+            out.append(
+                technique_point(
+                    name,
+                    Mode.LVA,
+                    ApproximatorConfig(approximation_degree=degree),
+                    seed=seed,
+                    small=small,
+                )
+            )
+    return out
 
 
 def run(small: bool = False, seed: int = 0) -> ExperimentResult:

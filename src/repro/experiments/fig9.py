@@ -15,9 +15,25 @@ from repro.experiments.common import (
     ExperimentResult,
     run_technique,
 )
+from repro.experiments.sweep import technique_point
 from repro.sim.tracesim import Mode
 
 DEGREES: Tuple[int, ...] = (0, 2, 4, 8, 16)
+
+
+def points(small: bool = False, seed: int = 0):
+    """The sweep points :func:`run` consumes (for the parallel engine)."""
+    return [
+        technique_point(
+            name,
+            Mode.LVA,
+            ApproximatorConfig(approximation_degree=degree),
+            seed=seed,
+            small=small,
+        )
+        for name in BASELINE_WORKLOADS
+        for degree in DEGREES
+    ]
 
 
 def run(small: bool = False, seed: int = 0) -> ExperimentResult:

@@ -6,19 +6,34 @@ Usage::
     python -m repro.experiments fig4 fig5       # selected experiments
     python -m repro.experiments --small         # reduced inputs (quick check)
     python -m repro.experiments --list          # show available experiments
+    python -m repro.experiments --jobs 4        # point-level parallel sweep
     python -m repro.experiments fig6 --json out.json --markdown out.md
+
+With ``--jobs N`` the runner first collects every sweep point the
+requested experiments declare (via their ``points()`` functions), dedupes
+them across experiments, and executes them on the
+:class:`~repro.experiments.sweep.SweepEngine` — precise baselines exactly
+once, then the technique points, all at point granularity.  The drivers
+then re-run serially in the parent against warm caches, so tables print
+in a deterministic order no matter how the points were scheduled.
+Experiments that cannot be decomposed into points (the trace/full-system
+replays) still run whole in worker processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
+import pstats
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     ablations,
+    diskcache,
     fig1,
     noc_calibration,
     sensitivity,
@@ -38,6 +53,7 @@ from repro.experiments import (
 from repro.experiments.common import ExperimentResult, averaged
 from repro.experiments.expectations import verify
 from repro.experiments.report import render_report, to_json
+from repro.experiments.sweep import SweepEngine, SweepPoint
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table1": table1.run,
@@ -62,35 +78,127 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablate-sensitivity": sensitivity.run,
 }
 
+#: Experiments decomposable into sweep points.  The rest (trace replay,
+#: full-system, NoC calibration) run whole because their cost is not in
+#: cacheable ``run_technique``/``run_precise_reference`` calls.
+POINTS: Dict[str, Callable[..., List[SweepPoint]]] = {
+    "table1": table1.points,
+    "fig1": fig1.points,
+    "fig4": fig4.points,
+    "fig5": fig5.points,
+    "fig6": fig6.points,
+    "fig7": fig7.points,
+    "fig8": fig8.points,
+    "fig9": fig9.points,
+    "fig12": fig12.points,
+    "fig13": fig13.points,
+    "ablate-table-size": ablations.table_size_points,
+    "ablate-lhb-size": ablations.lhb_size_points,
+    "ablate-compute-fn": ablations.compute_function_points,
+    "ablate-int-confidence": ablations.int_confidence_points,
+    "ablate-confidence-steps": ablations.confidence_steps_points,
+    "ablate-sensitivity": sensitivity.points,
+}
 
-def _run_one(name: str, repeats: int, small: bool, seed: int):
-    """Worker entry point: run one experiment (possibly seed-averaged)."""
+
+def gather_points(names, small: bool, seed: int, repeats: int) -> List[SweepPoint]:
+    """Collect the sweep points for every swept experiment in ``names``.
+
+    ``--repeats N`` averages over seeds ``seed .. seed+N-1`` (matching
+    :func:`repro.experiments.common.averaged`), so each of those seeds
+    contributes its own points.
+    """
+    points: List[SweepPoint] = []
+    for name in names:
+        declare = POINTS.get(name)
+        if declare is None:
+            continue
+        for offset in range(max(1, repeats)):
+            points.extend(declare(small=small, seed=seed + offset))
+    return points
+
+
+def _experiment_key(name: str, repeats: int, small: bool, seed: int) -> str:
+    return diskcache.point_key(
+        "experiment", name=name, repeats=repeats, small=small, seed=seed
+    )
+
+
+def _run_one(name: str, repeats: int, small: bool, seed: int, profile: bool = False):
+    """Worker entry point: run one experiment (possibly seed-averaged).
+
+    Unswept experiments (the trace/full-system replays) are cached whole
+    on disk: their cost lives outside the point-level caches, but they
+    are just as deterministic, so their finished tables can be served
+    from the same disk layer. Profiled runs bypass the cache — a profile
+    of a disk read is not what ``--profile`` asks for.
+    """
     started = time.time()
+    disk = None
+    if name not in POINTS and not profile:
+        disk = diskcache.active_cache()
+    if disk is not None:
+        stored = disk.get(_experiment_key(name, repeats, small, seed))
+        if isinstance(stored, ExperimentResult):
+            return name, stored, time.time() - started, None
+    profiler = None
+    if profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
     if repeats > 1:
         result = averaged(EXPERIMENTS[name], repeats=repeats, small=small, seed=seed)
     else:
         result = EXPERIMENTS[name](small=small, seed=seed)
-    return name, result, time.time() - started
+    profile_text: Optional[str] = None
+    if profiler is not None:
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(20)
+        profile_text = buffer.getvalue()
+    if disk is not None:
+        disk.put(_experiment_key(name, repeats, small, seed), result)
+    return name, result, time.time() - started, profile_text
 
 
 def _execute(names, args):
-    """Yield (name, result, elapsed) for each experiment, honouring --jobs.
+    """Yield (name, result, elapsed, profile) per experiment, honouring --jobs.
 
-    Parallel workers are separate processes, so they do not share the
-    precise-reference cache; with many experiments the parallelism still
-    wins comfortably.
+    Swept experiments run serially in the parent — after a sweep their
+    drivers only read warm caches, so parallelising them again would buy
+    nothing.  Unswept experiments go to worker processes; completions are
+    collected with :func:`as_completed` and buffered, then yielded in the
+    requested order, so a slow first experiment no longer delays
+    *collecting* (and error-reporting) the others, only their printing.
     """
     if args.jobs <= 1 or len(names) == 1:
         for name in names:
-            yield _run_one(name, args.repeats, args.small, args.seed)
+            yield _run_one(name, args.repeats, args.small, args.seed, args.profile)
         return
+
+    pooled = [i for i, name in enumerate(names) if name not in POINTS]
+    completed: Dict[int, tuple] = {}
     with ProcessPoolExecutor(max_workers=args.jobs) as pool:
-        futures = [
-            pool.submit(_run_one, name, args.repeats, args.small, args.seed)
-            for name in names
-        ]
-        for future in futures:
-            yield future.result()
+        futures = {
+            pool.submit(
+                _run_one, names[i], args.repeats, args.small, args.seed, args.profile
+            ): i
+            for i in pooled
+        }
+        for i, name in enumerate(names):
+            if name in POINTS:
+                completed[i] = _run_one(
+                    name, args.repeats, args.small, args.seed, args.profile
+                )
+        next_index = 0
+        while next_index < len(names) and next_index in completed:
+            yield completed.pop(next_index)
+            next_index += 1
+        for future in as_completed(futures):
+            completed[futures[future]] = future.result()
+            while next_index < len(names) and next_index in completed:
+                yield completed.pop(next_index)
+                next_index += 1
 
 
 def main(argv=None) -> int:
@@ -132,7 +240,17 @@ def main(argv=None) -> int:
         type=int,
         default=1,
         metavar="N",
-        help="run experiments in N parallel worker processes",
+        help="run sweep points (and unswept experiments) in N worker processes",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile each experiment, printing its top-20 cumulative hotspots",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this run (and its workers)",
     )
     args = parser.parse_args(argv)
 
@@ -141,16 +259,29 @@ def main(argv=None) -> int:
             print(name)
         return 0
 
+    if args.no_cache:
+        diskcache.disable()
+
     names = args.experiments or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
+    if args.jobs > 1:
+        points = gather_points(names, args.small, args.seed, args.repeats)
+        if points:
+            report = SweepEngine(jobs=args.jobs).execute(points)
+            print(report.summary())
+            print()
+
     results = []
     failures = 0
-    for name, result, elapsed in _execute(names, args):
+    for name, result, elapsed, profile_text in _execute(names, args):
         results.append(result)
         print(result.format_table())
+        if profile_text:
+            print(f"--- profile: {name} (top 20 by cumulative time) ---")
+            print(profile_text)
         if args.verify:
             report = verify(name, result)
             print(report.format())

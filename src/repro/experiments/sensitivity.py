@@ -12,11 +12,8 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.core.config import ApproximatorConfig
-from repro.experiments.common import (
-    BASELINE_WORKLOADS,
-    ExperimentResult,
-    run_technique,
-)
+from repro.experiments.common import ExperimentResult, run_technique
+from repro.experiments.sweep import technique_point
 from repro.sim.tracesim import Mode
 
 #: (knob, low-override, high-override) around the Table II baseline.
@@ -29,6 +26,26 @@ PERTURBATIONS: Tuple[Tuple[str, dict, dict], ...] = (
     ("value_delay", {"value_delay": 0}, {"value_delay": 16}),
     ("approximation_degree", {}, {"approximation_degree": 8}),
 )
+
+
+def _workloads(small: bool) -> List[str]:
+    if small:
+        return ["blackscholes", "canneal", "fluidanimate"]
+    return ["blackscholes", "canneal", "fluidanimate", "x264"]
+
+
+def points(small: bool = False, seed: int = 0):
+    """The sweep points :func:`run` consumes (for the parallel engine)."""
+    out = []
+    configs = [ApproximatorConfig()]
+    for _, low, high in PERTURBATIONS:
+        for overrides in (low, high):
+            if overrides:
+                configs.append(ApproximatorConfig(**overrides))
+    for name in _workloads(small):
+        for config in configs:
+            out.append(technique_point(name, Mode.LVA, config, seed=seed, small=small))
+    return out
 
 
 def _mean_metrics(
@@ -48,13 +65,7 @@ def run(small: bool = False, seed: int = 0) -> ExperimentResult:
     """One-at-a-time perturbation around the baseline configuration."""
     # A representative subset keeps the tornado affordable at full scale
     # while spanning int/float and high/low-MPKI behaviours.
-    workloads = (
-        list(BASELINE_WORKLOADS)
-        if not small
-        else ["blackscholes", "canneal", "fluidanimate"]
-    )
-    if not small:
-        workloads = ["blackscholes", "canneal", "fluidanimate", "x264"]
+    workloads = _workloads(small)
 
     result = ExperimentResult(
         name="Sensitivity",

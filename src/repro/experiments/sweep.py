@@ -1,0 +1,307 @@
+"""Point-level parallel sweep engine.
+
+The figure/ablation drivers are sweeps over *points* — (workload, mode,
+config, seed, scale, params) tuples fed to
+:func:`~repro.experiments.common.run_technique`. Running whole experiments
+in parallel worker processes wastes most of that structure: Figures 4 and
+5 share every LVA run, every point needs the same per-workload precise
+baseline, and separate processes share no cache.
+
+This engine flips the unit of parallelism from experiments to points:
+
+1. Drivers declare their points (each driver module exposes
+   ``points(small, seed)`` alongside ``run``).
+2. The engine **dedupes** points across every requested experiment.
+3. The unique *precise baselines* implied by the points run first, fanned
+   out over a :class:`~concurrent.futures.ProcessPoolExecutor` — each is
+   computed **exactly once** across all workers (the wave barrier, not
+   locking, provides the guarantee).
+4. The technique points fan out next; workers read the now-warm baselines
+   from the shared disk cache (:mod:`~repro.experiments.diskcache`).
+5. Results are backfilled into the parent's in-process caches, so the
+   drivers afterwards assemble their tables for free.
+
+Because the simulations are deterministic, a table built from engine
+results is bit-identical to one built by running the driver alone.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import ApproximatorConfig
+from repro.experiments import common
+from repro.sim.tracesim import Mode
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One unit of sweep work: a single simulator run, fully specified.
+
+    ``mode=None`` marks a precise-baseline-only point (e.g. Table I's
+    precise column, Figure 1's reference run); any technique point
+    implies its own precise baseline automatically.
+    """
+
+    workload: str
+    mode: Optional[Mode] = None
+    config: Optional[ApproximatorConfig] = None
+    prefetch_degree: int = 4
+    seed: int = 0
+    small: bool = False
+    #: Workload parameter overrides as a sorted items tuple (hashable).
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def is_technique(self) -> bool:
+        return self.mode is not None
+
+    def params_dict(self) -> Optional[dict]:
+        return dict(self.params) if self.params else None
+
+    def baseline(self) -> "SweepPoint":
+        """The precise-baseline point this point depends on."""
+        return SweepPoint(
+            workload=self.workload,
+            seed=self.seed,
+            small=self.small,
+            params=self.params,
+        )
+
+
+def technique_point(
+    workload: str,
+    mode: Mode,
+    config: Optional[ApproximatorConfig] = None,
+    prefetch_degree: int = 4,
+    seed: int = 0,
+    small: bool = False,
+    params: Optional[dict] = None,
+) -> SweepPoint:
+    """A point mirroring one :func:`common.run_technique` call."""
+    return SweepPoint(
+        workload=workload,
+        mode=mode,
+        config=config,
+        prefetch_degree=prefetch_degree,
+        seed=seed,
+        small=small,
+        params=tuple(sorted((params or {}).items())),
+    )
+
+
+def precise_point(
+    workload: str, seed: int = 0, small: bool = False, params: Optional[dict] = None
+) -> SweepPoint:
+    """A point mirroring one :func:`common.run_precise_reference` call."""
+    return SweepPoint(
+        workload=workload,
+        seed=seed,
+        small=small,
+        params=tuple(sorted((params or {}).items())),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Worker entry points (module-level for pickling)                       #
+# --------------------------------------------------------------------- #
+
+
+def _counter_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    return {name: after[name] - before[name] for name in after}
+
+
+def _run_precise_worker(point: SweepPoint):
+    """Compute one precise baseline; returns (point, reference, counters).
+
+    Counters are per-task deltas — pool workers are reused across tasks,
+    so cumulative values would double-count when aggregated.
+    """
+    before = common.COMPUTE_COUNTERS.as_dict()
+    reference = common.run_precise_reference(
+        point.workload, point.seed, point.small, point.params_dict()
+    )
+    return point, reference, _counter_delta(before, common.COMPUTE_COUNTERS.as_dict())
+
+
+def _run_technique_worker(point: SweepPoint):
+    """Compute one technique point; returns (point, result, counters)."""
+    before = common.COMPUTE_COUNTERS.as_dict()
+    result = common.run_technique(
+        point.workload,
+        point.mode,
+        config=point.config,
+        prefetch_degree=point.prefetch_degree,
+        seed=point.seed,
+        small=point.small,
+        params=point.params_dict(),
+    )
+    return point, result, _counter_delta(before, common.COMPUTE_COUNTERS.as_dict())
+
+
+def _backfill_precise(point: SweepPoint, reference) -> None:
+    key = (point.workload, point.seed, point.small, point.params)
+    common._PRECISE_CACHE[key] = reference
+
+
+def _backfill_technique(point: SweepPoint, result) -> None:
+    key = (
+        point.workload,
+        point.mode,
+        point.config,
+        point.prefetch_degree,
+        point.seed,
+        point.small,
+        point.params,
+    )
+    common._TECHNIQUE_CACHE[key] = result
+
+
+# --------------------------------------------------------------------- #
+# The engine                                                            #
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class SweepReport:
+    """What one engine run did — the evidence for its guarantees."""
+
+    requested_points: int = 0
+    unique_points: int = 0
+    unique_baselines: int = 0
+    #: Simulations actually executed, aggregated across all workers (and
+    #: the parent, in serial mode). ``precise_computed`` equal to
+    #: ``unique_baselines`` on a cold cache is the exactly-once property.
+    precise_computed: int = 0
+    technique_computed: int = 0
+    disk_hits: int = 0
+    elapsed: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"sweep: {self.unique_points} unique points "
+            f"({self.requested_points} requested), "
+            f"{self.unique_baselines} baselines "
+            f"({self.precise_computed} computed), "
+            f"{self.technique_computed} technique runs, "
+            f"{self.disk_hits} disk hits, {self.elapsed:.1f}s"
+        )
+
+
+class SweepEngine:
+    """Dedupes and executes sweep points, backfilling the caches.
+
+    One engine instance is built per CLI invocation; :meth:`execute`
+    leaves ``common._PRECISE_CACHE`` / ``common._TECHNIQUE_CACHE`` warm in
+    the calling process, so driver ``run()`` functions afterwards cost
+    only table assembly.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = max(1, jobs)
+        self.report = SweepReport()
+
+    def execute(self, points: Iterable[SweepPoint]) -> SweepReport:
+        """Run every unique point (and implied baseline) exactly once."""
+        started = time.time()
+        requested = list(points)
+        unique: List[SweepPoint] = list(dict.fromkeys(requested))
+        baselines: List[SweepPoint] = list(
+            dict.fromkeys(point.baseline() for point in unique)
+        )
+        technique_points = [p for p in unique if p.is_technique]
+
+        report = self.report
+        report.requested_points += len(requested)
+        report.unique_points += len(unique)
+        report.unique_baselines += len(baselines)
+
+        if self.jobs == 1:
+            self._execute_serial(baselines, technique_points)
+        else:
+            self._execute_parallel(baselines, technique_points)
+
+        report.elapsed += time.time() - started
+        return report
+
+    # -- serial ---------------------------------------------------------- #
+
+    def _execute_serial(
+        self, baselines: Sequence[SweepPoint], technique_points: Sequence[SweepPoint]
+    ) -> None:
+        before = common.COMPUTE_COUNTERS.as_dict()
+        for point in baselines:
+            common.run_precise_reference(
+                point.workload, point.seed, point.small, point.params_dict()
+            )
+        for point in technique_points:
+            common.run_technique(
+                point.workload,
+                point.mode,
+                config=point.config,
+                prefetch_degree=point.prefetch_degree,
+                seed=point.seed,
+                small=point.small,
+                params=point.params_dict(),
+            )
+        self._absorb_counters(before, common.COMPUTE_COUNTERS.as_dict())
+
+    # -- parallel --------------------------------------------------------- #
+
+    def _execute_parallel(
+        self, baselines: Sequence[SweepPoint], technique_points: Sequence[SweepPoint]
+    ) -> None:
+        """Two waves over one process pool.
+
+        Wave 1 computes each unique baseline in exactly one worker; the
+        barrier between waves means wave-2 workers find every baseline in
+        the shared disk cache and never recompute one. Without a disk
+        cache (``--no-cache``) workers fall back to recomputing baselines
+        they need — correct, just slower.
+        """
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            self._run_wave(pool, _run_precise_worker, baselines, _backfill_precise)
+            self._run_wave(
+                pool, _run_technique_worker, technique_points, _backfill_technique
+            )
+
+    def _run_wave(self, pool, worker, points: Sequence[SweepPoint], backfill) -> None:
+        if not points:
+            return
+        futures = {pool.submit(worker, point): point for point in points}
+        for future in as_completed(futures):
+            point, result, counters = future.result()
+            backfill(point, result)
+            self._absorb_counters(_ZERO_COUNTERS, counters)
+
+    def _absorb_counters(self, before: Dict[str, int], after: Dict[str, int]) -> None:
+        report = self.report
+        report.precise_computed += after["precise_computed"] - before["precise_computed"]
+        report.technique_computed += (
+            after["technique_computed"] - before["technique_computed"]
+        )
+        report.disk_hits += (
+            after["precise_disk_hits"]
+            - before["precise_disk_hits"]
+            + after["technique_disk_hits"]
+            - before["technique_disk_hits"]
+        )
+
+
+_ZERO_COUNTERS: Dict[str, int] = {
+    "precise_computed": 0,
+    "precise_memory_hits": 0,
+    "precise_disk_hits": 0,
+    "technique_computed": 0,
+    "technique_memory_hits": 0,
+    "technique_disk_hits": 0,
+}
+
+
+def execute_points(points: Iterable[SweepPoint], jobs: int = 1) -> SweepReport:
+    """Convenience wrapper: one engine, one execution."""
+    engine = SweepEngine(jobs=jobs)
+    return engine.execute(points)

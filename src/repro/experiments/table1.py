@@ -14,6 +14,7 @@ from repro.experiments.common import (
     run_precise_reference,
     run_technique,
 )
+from repro.experiments.sweep import technique_point
 from repro.sim.tracesim import Mode
 
 #: The paper's Table I, for side-by-side comparison in reports.
@@ -35,6 +36,18 @@ PAPER_VARIATION = {
     "swaptions": 0.0,
     "x264": 0.0237,
 }
+
+
+def points(small: bool = False, seed: int = 0):
+    """The sweep points :func:`run` consumes (for the parallel engine).
+
+    The precise references :func:`run` also reads are the baselines of
+    these technique points, so the engine schedules them implicitly.
+    """
+    return [
+        technique_point(name, Mode.LVA, seed=seed, small=small)
+        for name in BASELINE_WORKLOADS
+    ]
 
 
 def run(small: bool = False, seed: int = 0) -> ExperimentResult:

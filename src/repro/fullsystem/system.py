@@ -214,7 +214,7 @@ class FullSystemSimulator:
         )
         self._l2_accesses += 1
         service_done = request.arrival + self.config.l2.latency
-        if not self.l2.access(addr).hit:
+        if not self.l2.probe(addr):
             self._memory_accesses += 1
             if self.dram is not None:
                 service_done += self.dram.access(addr, service_done)
@@ -262,7 +262,7 @@ class FullSystemSimulator:
                         int(core.clock), self.config.noc.control_flits,
                     )
         if hit:
-            self.l1s[core_id].access(event.addr, is_write=True)
+            self.l1s[core_id].probe(event.addr, is_write=True)
         else:
             # Write-through to the home bank: a control-sized message.
             self.noc.send(
@@ -281,7 +281,7 @@ class FullSystemSimulator:
         self._loads += 1
 
         l1 = self.l1s[core_id]
-        if l1.access(event.addr).hit:
+        if l1.probe(event.addr):
             core.issue_load(0)
             return
 

@@ -54,9 +54,14 @@ class CacheConfig:
         return self.size_bytes // (self.block_bytes * self.associativity)
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
-    """Outcome of one cache access."""
+    """Outcome of one cache access.
+
+    The unremarkable outcomes (plain hit, plain miss) are returned as
+    shared singleton instances so the per-load hot path allocates nothing;
+    treat results as read-only.
+    """
 
     hit: bool
     #: Block address (block-aligned byte address) of a dirty block evicted
@@ -67,7 +72,17 @@ class AccessResult:
     prefetch_hit: bool = False
 
 
-@dataclass
+#: Shared results for the overwhelmingly common outcomes (see AccessResult).
+_HIT = AccessResult(hit=True)
+_MISS = AccessResult(hit=False)
+
+#: Internal probe outcomes (prefetch hits are rare enough to allocate for).
+_PROBE_MISS = 0
+_PROBE_HIT = 1
+_PROBE_PREFETCH_HIT = 2
+
+
+@dataclass(slots=True)
 class CacheStats:
     """Per-cache event counters."""
 
@@ -123,6 +138,10 @@ class SetAssociativeCache:
         self._offset_bits = self.config.block_bytes.bit_length() - 1
         self._index_mask = self.config.num_sets - 1
         self._index_bits = self._index_mask.bit_length()
+        # Plain LRU (the default) only bumps recency on a hit; inlining that
+        # one store skips a virtual dispatch on the hottest path. Any other
+        # policy — including an LRU subclass — goes through on_hit.
+        self._plain_lru = type(self.policy) is LRUPolicy
 
     # ------------------------------------------------------------------ #
     # Address helpers                                                    #
@@ -150,22 +169,50 @@ class SetAssociativeCache:
         A miss does *not* implicitly fill — the caller decides whether a
         fetch happens at all (that decoupling is the heart of the paper's
         approximation degree). Call :meth:`fill` when the block arrives.
+
+        Plain hits and misses return shared :class:`AccessResult`
+        singletons (no allocation); callers must not mutate results.
         """
-        self._clock += 1
-        self.stats.accesses += 1
-        block = self._find(addr)
+        outcome = self._probe(addr, is_write)
+        if outcome == _PROBE_HIT:
+            return _HIT
+        if outcome == _PROBE_MISS:
+            return _MISS
+        return AccessResult(hit=True, prefetch_hit=True)
+
+    def probe(self, addr: int, is_write: bool = False) -> bool:
+        """Boolean fast-path of :meth:`access`: same stats/recency updates,
+        but returns just the hit outcome and never allocates.
+
+        The simulators probe the L1 on every load instruction and only ever
+        look at ``.hit`` — this is the hottest path in the whole library.
+        """
+        return self._probe(addr, is_write) != _PROBE_MISS
+
+    def _probe(self, addr: int, is_write: bool) -> int:
+        clock = self._clock + 1
+        self._clock = clock
+        stats = self.stats
+        stats.accesses += 1
+        block_bits = addr >> self._offset_bits
+        block = self._sets[block_bits & self._index_mask].get(
+            block_bits >> self._index_bits
+        )
         if block is None:
-            self.stats.misses += 1
-            return AccessResult(hit=False)
-        self.stats.hits += 1
-        prefetch_hit = block.prefetched
-        if prefetch_hit:
-            self.stats.useful_prefetches += 1
-            block.prefetched = False
+            stats.misses += 1
+            return _PROBE_MISS
+        stats.hits += 1
         if is_write:
             block.dirty = True
-        self.policy.on_hit(block, self._clock)
-        return AccessResult(hit=True, prefetch_hit=prefetch_hit)
+        if self._plain_lru:
+            block.last_use = clock
+        else:
+            self.policy.on_hit(block, clock)
+        if block.prefetched:
+            stats.useful_prefetches += 1
+            block.prefetched = False
+            return _PROBE_PREFETCH_HIT
+        return _PROBE_HIT
 
     def contains(self, addr: int) -> bool:
         """Non-destructive presence probe (no stats, no recency update)."""
@@ -182,7 +229,7 @@ class SetAssociativeCache:
         index, tag = self._decompose(addr)
         ways = self._sets[index]
         if tag in ways:
-            return AccessResult(hit=True)
+            return _HIT
         writeback = None
         if len(ways) >= self.config.associativity:
             blocks = list(ways.values())
@@ -196,6 +243,8 @@ class SetAssociativeCache:
         block.fill(tag, self._clock, prefetched=prefetched)
         ways[tag] = block
         self.stats.fills += 1
+        if writeback is None:
+            return _MISS
         return AccessResult(hit=False, writeback=writeback)
 
     def invalidate(self, addr: int) -> bool:

@@ -52,12 +52,12 @@ class TwoLevelHierarchy:
         lower level is touched and nothing is filled.
         """
         latency = self.l1.config.latency
-        if self.l1.access(addr).hit:
+        if self.l1.probe(addr):
             return HierarchyAccess(served_by="l1", latency=latency, l1_filled=False)
         if not fetch_on_miss:
             return HierarchyAccess(served_by="none", latency=latency, l1_filled=False)
         latency += self.l2.config.latency
-        if self.l2.access(addr).hit:
+        if self.l2.probe(addr):
             self._fill_l1(addr)
             return HierarchyAccess(served_by="l2", latency=latency, l1_filled=True)
         latency += self.memory.read(addr)
@@ -68,7 +68,7 @@ class TwoLevelHierarchy:
     def store(self, addr: int) -> HierarchyAccess:
         """Write ``addr`` (write-allocate, write-back)."""
         access = self.load(addr)
-        self.l1.access(addr, is_write=True)
+        self.l1.probe(addr, is_write=True)
         return access
 
     def _fill_l1(self, addr: int) -> None:
@@ -76,7 +76,7 @@ class TwoLevelHierarchy:
         if result.writeback is not None:
             # Dirty L1 victim lands in the L2 (write-back).
             self.l2.fill(result.writeback)
-            self.l2.access(result.writeback, is_write=True)
+            self.l2.probe(result.writeback, is_write=True)
 
     def reset(self) -> None:
         """Reset every level."""

@@ -98,7 +98,7 @@ class TraceSimulator(MemoryFrontend):
 
         self._tick_value_delay()
 
-        if self.l1.access(addr).hit:
+        if self.l1.probe(addr):
             return actual
 
         self.stats.raw_misses += 1
@@ -142,7 +142,7 @@ class TraceSimulator(MemoryFrontend):
         # (store misses are off the critical path, Section V-A) and does not
         # fetch a block; a store hit just dirties the resident block.
         if self.l1.contains(addr):
-            self.l1.access(addr, is_write=True)
+            self.l1.probe(addr, is_write=True)
 
     def _serve_store_streaming(self, addr: int) -> None:
         self.stats.stores += 1

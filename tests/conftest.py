@@ -6,7 +6,18 @@ import numpy as np
 import pytest
 
 from repro.core.config import ApproximatorConfig
+from repro.experiments import diskcache
 from repro.sim.tracesim import Mode, TraceSimulator
+
+
+@pytest.fixture(autouse=True)
+def _no_disk_cache(monkeypatch):
+    """Keep tests hermetic: never touch the user's persistent result cache.
+
+    Tests that exercise the disk layer re-enable it by deleting
+    ``REPRO_NO_CACHE`` and pointing ``REPRO_CACHE_DIR`` at a tmp_path.
+    """
+    monkeypatch.setenv(diskcache.NO_CACHE_ENV, "1")
 
 
 @pytest.fixture

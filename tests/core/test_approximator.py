@@ -201,8 +201,8 @@ class TestDelayQueue:
     def test_items_due_after_delay_ticks(self):
         queue = DelayQueue(2)
         queue.push("token", 1.0)
-        assert queue.tick() == []
-        assert queue.tick() == [("token", 1.0)]
+        assert list(queue.tick()) == []  # shared empty tuple: no allocation
+        assert list(queue.tick()) == [("token", 1.0)]
 
     def test_zero_delay_due_next_tick(self):
         queue = DelayQueue(0)

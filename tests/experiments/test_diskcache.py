@@ -1,0 +1,233 @@
+"""The persistent on-disk result cache (repro.experiments.diskcache)."""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import ApproximatorConfig
+from repro.experiments import common, diskcache
+from repro.experiments.common import (
+    TechniqueResult,
+    run_precise_reference,
+    run_technique,
+)
+from repro.sim.tracesim import Mode
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def disk(monkeypatch, tmp_path):
+    """A live, empty disk cache in tmp_path with clean in-memory layers.
+
+    The suite-wide autouse fixture disables the disk layer; this one
+    re-enables it against a throwaway directory and isolates the
+    in-process caches so the disk layer is actually exercised.
+    """
+    monkeypatch.delenv(diskcache.NO_CACHE_ENV, raising=False)
+    monkeypatch.setenv(diskcache.CACHE_DIR_ENV, str(tmp_path / "cache"))
+    monkeypatch.setattr(diskcache, "_DISABLED_OVERRIDE", False)
+    monkeypatch.setattr(diskcache, "_ACTIVE", None)
+    monkeypatch.setattr(diskcache, "_ACTIVE_DIR", None)
+    monkeypatch.setattr(common, "COMPUTE_COUNTERS", common.ComputeCounters())
+    saved_precise = dict(common._PRECISE_CACHE)
+    saved_technique = dict(common._TECHNIQUE_CACHE)
+    common._PRECISE_CACHE.clear()
+    common._TECHNIQUE_CACHE.clear()
+    cache = diskcache.active_cache()
+    assert cache is not None
+    yield cache
+    common._PRECISE_CACHE.clear()
+    common._TECHNIQUE_CACHE.clear()
+    common._PRECISE_CACHE.update(saved_precise)
+    common._TECHNIQUE_CACHE.update(saved_technique)
+
+
+def _fig4_key() -> str:
+    """The disk key of one real Figure 4 sweep point."""
+    return diskcache.point_key(
+        "technique",
+        workload="blackscholes",
+        mode=Mode.LVA,
+        config=ApproximatorConfig(ghb_size=2),
+        prefetch_degree=4,
+        seed=0,
+        small=True,
+        params=(),
+    )
+
+
+class TestKeys:
+    def test_key_is_stable_across_processes(self):
+        """Same point ⇒ same key from a fresh interpreter (no PYTHONHASHSEED
+        dependence, no id()/repr-address leakage through the hash)."""
+        script = (
+            "from repro.experiments import diskcache\n"
+            "from repro.core.config import ApproximatorConfig\n"
+            "from repro.sim.tracesim import Mode\n"
+            "print(diskcache.point_key('technique', workload='blackscholes',"
+            " mode=Mode.LVA, config=ApproximatorConfig(ghb_size=2),"
+            " prefetch_degree=4, seed=0, small=True, params=()))\n"
+        )
+        env = dict(os.environ, PYTHONPATH=REPO_SRC, PYTHONHASHSEED="12345")
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert completed.stdout.strip() == _fig4_key()
+
+    def test_key_distinguishes_every_component(self):
+        base = _fig4_key()
+        variants = [
+            diskcache.point_key(
+                "precise",
+                workload="blackscholes",
+                mode=Mode.LVA,
+                config=ApproximatorConfig(ghb_size=2),
+                prefetch_degree=4,
+                seed=0,
+                small=True,
+                params=(),
+            ),
+            diskcache.point_key(
+                "technique",
+                workload="canneal",
+                mode=Mode.LVA,
+                config=ApproximatorConfig(ghb_size=2),
+                prefetch_degree=4,
+                seed=0,
+                small=True,
+                params=(),
+            ),
+            diskcache.point_key(
+                "technique",
+                workload="blackscholes",
+                mode=Mode.LVP,
+                config=ApproximatorConfig(ghb_size=2),
+                prefetch_degree=4,
+                seed=0,
+                small=True,
+                params=(),
+            ),
+            diskcache.point_key(
+                "technique",
+                workload="blackscholes",
+                mode=Mode.LVA,
+                config=ApproximatorConfig(ghb_size=4),
+                prefetch_degree=4,
+                seed=0,
+                small=True,
+                params=(),
+            ),
+            diskcache.point_key(
+                "technique",
+                workload="blackscholes",
+                mode=Mode.LVA,
+                config=ApproximatorConfig(ghb_size=2),
+                prefetch_degree=4,
+                seed=1,
+                small=True,
+                params=(),
+            ),
+            diskcache.point_key(
+                "technique",
+                workload="blackscholes",
+                mode=Mode.LVA,
+                config=ApproximatorConfig(ghb_size=2),
+                prefetch_degree=4,
+                seed=0,
+                small=False,
+                params=(),
+            ),
+        ]
+        assert len({base, *variants}) == len(variants) + 1
+
+    def test_schema_version_invalidates_keys(self, monkeypatch):
+        """Bumping SCHEMA_VERSION must orphan every existing entry."""
+        old = _fig4_key()
+        monkeypatch.setattr(diskcache, "SCHEMA_VERSION", diskcache.SCHEMA_VERSION + 1)
+        assert _fig4_key() != old
+
+
+class TestDiskCache:
+    def test_round_trip(self, disk):
+        disk.put("ab" * 32, {"payload": [1.5, float("inf")]})
+        assert disk.get("ab" * 32) == {"payload": [1.5, float("inf")]}
+        assert len(disk) == 1
+
+    def test_miss_returns_none(self, disk):
+        assert disk.get("cd" * 32) is None
+        assert disk.stats.misses == 1
+
+    def test_corrupt_entry_heals(self, disk):
+        key = "ef" * 32
+        disk.put(key, {"ok": True})
+        path = disk._path(key)
+        path.write_bytes(b"\x80\x05 definitely not a pickle")
+        assert disk.get(key) is None
+        assert not path.exists()
+        disk.put(key, {"ok": True})
+        assert disk.get(key) == {"ok": True}
+
+    def test_no_cache_env_disables_layer(self, disk, monkeypatch):
+        monkeypatch.setenv(diskcache.NO_CACHE_ENV, "1")
+        assert diskcache.active_cache() is None
+
+    def test_reset_caches_clears_disk_layer(self, disk):
+        run_precise_reference("blackscholes", small=True)
+        assert len(disk) == 1
+        assert common._PRECISE_CACHE
+        common.reset_caches()
+        assert len(disk) == 0
+        assert not common._PRECISE_CACHE
+        assert common.COMPUTE_COUNTERS.precise_computed == 0
+
+
+class TestResultCaching:
+    def test_cached_technique_result_matches_fresh(self, disk):
+        """A fig4 point served from disk is bitwise-equal to recomputing.
+
+        Clearing the in-memory caches between the two calls simulates a
+        brand-new process finding only the disk layer warm.
+        """
+        config = ApproximatorConfig(ghb_size=2)
+        fresh = run_technique("blackscholes", Mode.LVA, config=config, small=True)
+        assert common.COMPUTE_COUNTERS.technique_computed == 1
+
+        common._PRECISE_CACHE.clear()
+        common._TECHNIQUE_CACHE.clear()
+        cached = run_technique("blackscholes", Mode.LVA, config=config, small=True)
+
+        assert common.COMPUTE_COUNTERS.technique_computed == 1  # not recomputed
+        assert common.COMPUTE_COUNTERS.technique_disk_hits == 1
+        assert isinstance(cached, TechniqueResult)
+        assert cached is not fresh
+        assert dataclasses.asdict(cached) == dataclasses.asdict(fresh)
+
+    def test_precise_reference_served_from_disk(self, disk):
+        first = run_precise_reference("blackscholes", small=True)
+        common._PRECISE_CACHE.clear()
+        second = run_precise_reference("blackscholes", small=True)
+        assert common.COMPUTE_COUNTERS.precise_computed == 1
+        assert common.COMPUTE_COUNTERS.precise_disk_hits == 1
+        assert second.mpki == first.mpki
+        assert second.instructions == first.instructions
+        assert second.output == first.output
+
+    def test_wrong_record_type_is_ignored(self, disk, monkeypatch):
+        """A technique key holding junk must fall through to computing."""
+        config = ApproximatorConfig(ghb_size=2)
+        key = _fig4_key()
+        disk.put(key, {"not": "a TechniqueResult"})
+        result = run_technique("blackscholes", Mode.LVA, config=config, small=True)
+        assert isinstance(result, TechniqueResult)
+        assert common.COMPUTE_COUNTERS.technique_computed == 1

@@ -1,0 +1,151 @@
+"""The point-level sweep engine (repro.experiments.sweep)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import ApproximatorConfig
+from repro.experiments import common, diskcache, fig4, fig12, fig13, runner
+from repro.experiments.sweep import (
+    SweepEngine,
+    SweepPoint,
+    precise_point,
+    technique_point,
+)
+from repro.sim.tracesim import Mode
+
+
+@pytest.fixture
+def clean_caches(monkeypatch, tmp_path):
+    """Disk cache in tmp_path, empty in-memory caches, fresh counters."""
+    monkeypatch.delenv(diskcache.NO_CACHE_ENV, raising=False)
+    monkeypatch.setenv(diskcache.CACHE_DIR_ENV, str(tmp_path / "cache"))
+    monkeypatch.setattr(diskcache, "_DISABLED_OVERRIDE", False)
+    monkeypatch.setattr(diskcache, "_ACTIVE", None)
+    monkeypatch.setattr(diskcache, "_ACTIVE_DIR", None)
+    monkeypatch.setattr(common, "COMPUTE_COUNTERS", common.ComputeCounters())
+    saved_precise = dict(common._PRECISE_CACHE)
+    saved_technique = dict(common._TECHNIQUE_CACHE)
+    common._PRECISE_CACHE.clear()
+    common._TECHNIQUE_CACHE.clear()
+    yield
+    common._PRECISE_CACHE.clear()
+    common._TECHNIQUE_CACHE.clear()
+    common._PRECISE_CACHE.update(saved_precise)
+    common._TECHNIQUE_CACHE.update(saved_technique)
+
+
+class TestSweepPoint:
+    def test_technique_point_matches_run_technique_key(self):
+        point = technique_point(
+            "canneal", Mode.LVA, ApproximatorConfig(ghb_size=2), small=True
+        )
+        assert point.is_technique
+        assert point.params == ()
+        assert point.baseline() == precise_point("canneal", small=True)
+
+    def test_points_dedupe_across_experiments(self):
+        """Figures 4 and 5 share every LVA point; dedup must collapse them."""
+        pts = fig4.points(small=True) + fig4.points(small=True)
+        assert len(dict.fromkeys(pts)) == len(fig4.points(small=True))
+
+    def test_params_are_order_insensitive(self):
+        a = technique_point("canneal", Mode.LVA, params={"x": 1, "y": 2})
+        b = technique_point("canneal", Mode.LVA, params={"y": 2, "x": 1})
+        assert a == b
+
+
+class TestSerialEngine:
+    def test_fig13_equivalent_to_driver_alone(self, clean_caches):
+        """A table built after a sweep is bitwise-identical to one built
+        by the driver alone on cold caches."""
+        expected = fig13.run(small=True)
+        common._PRECISE_CACHE.clear()
+        common._TECHNIQUE_CACHE.clear()
+        common.reset_caches()
+
+        report = SweepEngine(jobs=1).execute(fig13.points(small=True))
+        swept = fig13.run(small=True)
+
+        assert dataclasses.asdict(swept) == dataclasses.asdict(expected)
+        assert report.unique_points == 5
+        assert report.unique_baselines == 1
+        assert report.precise_computed == 1
+        assert report.technique_computed == 5
+
+    def test_fig4_equivalent_to_driver_alone(self, clean_caches):
+        """The acceptance point: Figure 4 through the engine + disk cache
+        is bitwise-identical to the driver computing everything itself."""
+        expected = fig4.run(small=True)
+        common.reset_caches()
+
+        report = SweepEngine(jobs=1).execute(fig4.points(small=True))
+        swept = fig4.run(small=True)
+
+        assert dataclasses.asdict(swept) == dataclasses.asdict(expected)
+        assert report.precise_computed == report.unique_baselines == 7
+        assert report.technique_computed == report.unique_points == 56
+
+    def test_driver_rerun_is_pure_cache_hits(self, clean_caches):
+        SweepEngine(jobs=1).execute(fig13.points(small=True))
+        before = common.COMPUTE_COUNTERS.as_dict()
+        fig13.run(small=True)
+        after = common.COMPUTE_COUNTERS.as_dict()
+        assert after["precise_computed"] == before["precise_computed"]
+        assert after["technique_computed"] == before["technique_computed"]
+
+
+class TestParallelEngine:
+    def test_exactly_once_across_workers(self, clean_caches):
+        """Every baseline and every technique point is computed exactly
+        once across the worker pool, never per-worker."""
+        points = fig12.points(small=True) + fig13.points(small=True)
+        unique = list(dict.fromkeys(points))
+        baselines = set(p.baseline() for p in unique)
+
+        report = SweepEngine(jobs=2).execute(points)
+
+        assert report.unique_points == len(unique)
+        assert report.unique_baselines == len(baselines)
+        assert report.precise_computed == len(baselines)
+        assert report.technique_computed == len(unique)
+
+    def test_backfill_makes_driver_rerun_free(self, clean_caches):
+        SweepEngine(jobs=2).execute(fig13.points(small=True))
+        before = common.COMPUTE_COUNTERS.as_dict()
+        result = fig13.run(small=True)
+        after = common.COMPUTE_COUNTERS.as_dict()
+        assert after["precise_computed"] == before["precise_computed"]
+        assert after["technique_computed"] == before["technique_computed"]
+        assert result.series  # the table really was assembled
+
+    def test_parallel_equivalent_to_serial(self, clean_caches):
+        serial = fig13.run(small=True)
+        common._PRECISE_CACHE.clear()
+        common._TECHNIQUE_CACHE.clear()
+        common.reset_caches()
+        SweepEngine(jobs=2).execute(fig13.points(small=True))
+        parallel = fig13.run(small=True)
+        assert dataclasses.asdict(parallel) == dataclasses.asdict(serial)
+
+
+class TestRunnerIntegration:
+    def test_every_swept_experiment_declares_points(self):
+        for name, declare in runner.POINTS.items():
+            pts = declare(small=True, seed=0)
+            assert pts, name
+            assert all(isinstance(p, SweepPoint) for p in pts), name
+
+    def test_gather_points_honours_repeats(self):
+        single = runner.gather_points(["fig13"], small=True, seed=0, repeats=1)
+        double = runner.gather_points(["fig13"], small=True, seed=0, repeats=2)
+        assert len(double) == 2 * len(single)
+        seeds = {p.seed for p in double}
+        assert seeds == {0, 1}
+
+    def test_unswept_experiments_have_no_points(self):
+        for name in ("fig10", "fig11", "table2", "ablate-noc-model"):
+            assert name in runner.EXPERIMENTS
+            assert name not in runner.POINTS

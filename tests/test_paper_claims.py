@@ -34,10 +34,14 @@ class TestNoRollbacks:
 
     def test_approximator_never_requests_reexecution(self):
         # The decision object has no rollback channel at all: the only
-        # outputs are (value, fetch, token).
+        # outputs are (value, fetch, token). The decision is a slots
+        # dataclass (no __dict__), so enumerate its declared fields.
+        import dataclasses
+
         approx = LoadValueApproximator()
         decision = approx.on_miss(0x400, True)
-        assert set(vars(decision)) == {"approximated", "value", "fetch", "token"}
+        names = {f.name for f in dataclasses.fields(decision)}
+        assert names == {"approximated", "value", "fetch", "token"}
 
 
 class TestCoverageVsPrediction:
