@@ -24,3 +24,19 @@ class WorkloadError(ReproError):
 
 class AddressError(ReproError):
     """An address outside any allocated region was accessed."""
+
+
+class SweepExecutionError(ReproError):
+    """A sweep point could not be computed by the experiment engine."""
+
+
+class PointTimeoutError(SweepExecutionError):
+    """A sweep point exceeded its per-point wall-clock budget."""
+
+
+class WorkerCrashError(SweepExecutionError):
+    """A worker process died (or was injected to die) computing a point."""
+
+
+class FaultInjectionError(ReproError):
+    """A deterministic injected fault fired (see :mod:`repro.faults`)."""

@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro import faults
 from repro.core.config import ApproximatorConfig
 from repro.experiments import diskcache
 from repro.fullsystem import FullSystemConfig, FullSystemResult, FullSystemSimulator
@@ -57,9 +58,23 @@ class ExperimentResult:
         self.series.setdefault(label, {})[workload] = value
 
     def average(self, label: str) -> float:
-        """Arithmetic mean of one series across workloads."""
-        values = list(self.series[label].values())
-        return sum(values) / len(values) if values else 0.0
+        """Arithmetic mean of one series across workloads.
+
+        FAILED cells (NaN, from sweep points that exhausted their
+        retries) are excluded so one lost point does not poison the
+        whole row; an all-failed series averages to NaN.
+        """
+        values = [v for v in self.series[label].values() if not math.isnan(v)]
+        if not values:
+            return float("nan") if self.series[label] else 0.0
+        return sum(values) / len(values)
+
+    @staticmethod
+    def _cell(value: float) -> str:
+        """One table cell; NaN renders as an explicit FAILED marker."""
+        if math.isnan(value):
+            return f"{'FAILED':>12}"
+        return f"{value:>12.4f}"
 
     def format_table(self) -> str:
         """Render the result the way the paper's figure reports it."""
@@ -74,10 +89,10 @@ class ExperimentResult:
         lines = [f"== {self.name}: {self.description} ==", header]
         for workload in workloads:
             cells = " ".join(
-                f"{self.series[l].get(workload, float('nan')):>12.4f}" for l in labels
+                self._cell(self.series[l].get(workload, float("nan"))) for l in labels
             )
             lines.append(f"{workload:<{width}} {cells}")
-        averages = " ".join(f"{self.average(l):>12.4f}" for l in labels)
+        averages = " ".join(self._cell(self.average(l)) for l in labels)
         lines.append(f"{'average':<{width}} {averages}")
         return "\n".join(lines)
 
@@ -150,6 +165,21 @@ class PreciseReference:
     fetches_per_ki: float
 
 
+def failed_precise_reference(message: str) -> PreciseReference:
+    """A baseline placeholder for a permanently failed sweep point.
+
+    Backfilled into the in-memory cache only (never the disk cache) so
+    drivers can still assemble their tables — every dependent cell
+    renders as FAILED via NaN.
+    """
+    return PreciseReference(
+        output={"failed": message},
+        instructions=0,
+        mpki=float("nan"),
+        fetches_per_ki=float("nan"),
+    )
+
+
 _PRECISE_CACHE: Dict[Tuple[str, int, bool, tuple], PreciseReference] = {}
 
 
@@ -198,6 +228,36 @@ def _precise_disk_key(
     )
 
 
+def technique_disk_key(
+    name: str,
+    mode: Mode,
+    config: Optional[ApproximatorConfig],
+    prefetch_degree: int,
+    seed: int,
+    small: bool,
+    params_items: tuple,
+    fault_spec: str = "",
+) -> str:
+    """The disk-cache key of one technique point.
+
+    An active memory-fault spec is a distinct key component (omitted
+    entirely when clean, keeping clean keys stable across releases) so
+    corrupted-run results can never be served to clean runs.
+    """
+    components = dict(
+        workload=name,
+        mode=mode,
+        config=config if config is not None else ApproximatorConfig(),
+        prefetch_degree=prefetch_degree,
+        seed=seed,
+        small=small,
+        params=params_items,
+    )
+    if fault_spec:
+        components["faults"] = fault_spec
+    return diskcache.point_key("technique", **components)
+
+
 def run_precise_reference(
     name: str, seed: int = 0, small: bool = False, params: Optional[dict] = None
 ) -> PreciseReference:
@@ -223,10 +283,14 @@ def run_precise_reference(
             COMPUTE_COUNTERS.precise_disk_hits += 1
             _PRECISE_CACHE[key] = stored
             return stored
-    workload = _workload(name, small, params)
-    sim = TraceSimulator(Mode.PRECISE)
-    output = workload.execute(sim, seed)
-    stats = sim.finish()
+    # Precise references always execute clean: injected memory faults are
+    # suppressed so error under faults is measured against an
+    # uncorrupted baseline.
+    with faults.no_memory_faults():
+        workload = _workload(name, small, params)
+        sim = TraceSimulator(Mode.PRECISE)
+        output = workload.execute(sim, seed)
+        stats = sim.finish()
     reference = PreciseReference(
         output=output,
         instructions=stats.instructions,
@@ -253,6 +317,33 @@ class TechniqueResult:
     raw: dict
 
 
+def failed_technique_result(message: str) -> TechniqueResult:
+    """A placeholder for a technique point that exhausted its retries.
+
+    NaN metric fields render as FAILED cells; the failure reason rides
+    along in ``raw``. In-memory backfill only — never written to disk.
+    """
+    nan = float("nan")
+    return TechniqueResult(
+        normalized_mpki=nan,
+        normalized_fetches=nan,
+        output_error=nan,
+        coverage=nan,
+        instruction_variation=nan,
+        static_approx_pcs=0,
+        raw={"failed": True, "error": message},
+    )
+
+
+def is_failed(result: object) -> bool:
+    """True for the failure placeholders produced by the sweep engine."""
+    if isinstance(result, TechniqueResult):
+        return bool(result.raw.get("failed"))
+    if isinstance(result, PreciseReference):
+        return isinstance(result.output, dict) and "failed" in result.output
+    return False
+
+
 _TECHNIQUE_CACHE: Dict[tuple, TechniqueResult] = {}
 
 
@@ -274,7 +365,8 @@ def run_technique(
     cache semantically invisible.
     """
     params_items = tuple(sorted((params or {}).items()))
-    key = (name, mode, config, prefetch_degree, seed, small, params_items)
+    fault_spec = faults.active_memory_spec()
+    key = (name, mode, config, prefetch_degree, seed, small, params_items, fault_spec)
     cached = _TECHNIQUE_CACHE.get(key)
     if cached is not None:
         COMPUTE_COUNTERS.technique_memory_hits += 1
@@ -282,15 +374,8 @@ def run_technique(
     disk = diskcache.active_cache()
     disk_key = None
     if disk is not None:
-        disk_key = diskcache.point_key(
-            "technique",
-            workload=name,
-            mode=mode,
-            config=config if config is not None else ApproximatorConfig(),
-            prefetch_degree=prefetch_degree,
-            seed=seed,
-            small=small,
-            params=params_items,
+        disk_key = technique_disk_key(
+            name, mode, config, prefetch_degree, seed, small, params_items, fault_spec
         )
         stored = disk.get(disk_key)
         if isinstance(stored, TechniqueResult):
@@ -350,11 +435,14 @@ def capture_trace(name: str, seed: int = 0, small: bool = False) -> Trace:
     if cached is not None:
         return cached
     params = PHASE2_PARAMS.get(name)
-    workload = _workload(name, small, params)
-    recorder = TraceRecorder()
-    sim = TraceSimulator(Mode.PRECISE, recorder=recorder)
-    workload.execute(sim, seed)
-    sim.finish()
+    # Traces are precise replays: always captured clean (see
+    # run_precise_reference).
+    with faults.no_memory_faults():
+        workload = _workload(name, small, params)
+        recorder = TraceRecorder()
+        sim = TraceSimulator(Mode.PRECISE, recorder=recorder)
+        workload.execute(sim, seed)
+        sim.finish()
     _TRACE_CACHE[key] = recorder.trace
     return recorder.trace
 

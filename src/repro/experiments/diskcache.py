@@ -31,6 +31,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
@@ -135,6 +136,10 @@ class DiskCache:
 
     directory: Path = field(default_factory=default_cache_dir)
     stats: DiskCacheStats = field(default_factory=DiskCacheStats)
+    #: Set after the first failed store: the directory is unwritable
+    #: (read-only, quota, permissions), so further stores are skipped
+    #: instead of paying a failing syscall per point.
+    _broken: bool = field(default=False, repr=False)
 
     def _path(self, key: str) -> Path:
         # Two-level fan-out keeps directory listings manageable for large
@@ -166,11 +171,16 @@ class DiskCache:
         return record
 
     def put(self, key: str, record: object) -> None:
-        """Store ``record`` under ``key`` atomically; failures are silent.
+        """Store ``record`` under ``key`` atomically; failures warn once.
 
         The cache is an accelerator, never a correctness dependency — a
-        full disk or read-only cache dir degrades to recomputation.
+        full disk or read-only cache dir degrades to recomputation. The
+        first OSError (mkdir, mkstemp or replace) emits one
+        RuntimeWarning and flips the cache into no-op store mode; gets
+        keep working (the directory may still be readable).
         """
+        if self._broken:
+            return
         path = self._path(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -186,8 +196,14 @@ class DiskCache:
                     pass
                 raise
             self.stats.stores += 1
-        except OSError:
-            pass
+        except OSError as exc:
+            self._broken = True
+            warnings.warn(
+                f"disk cache at {self.directory} is not writable ({exc}); "
+                f"results will be recomputed instead of cached",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def clear(self) -> int:
         """Delete every entry; returns the number of files removed."""

@@ -1,0 +1,190 @@
+"""Append-only run journal: checkpoint/resume for interrupted sweeps.
+
+One JSONL file per *run identity* (the SHA-256 of the sorted point keys,
+so the same requested sweep always maps to the same journal), stored in
+a ``journals/`` directory beside the disk cache. Each line records one
+event::
+
+    {"event": "done",   "kind": "technique", "key": "<sha256>"}
+    {"event": "failed", "kind": "technique", "key": "<sha256>",
+     "error": "PointTimeoutError", "message": "...", "attempts": 3}
+
+The heavy results themselves live in the content-addressed disk cache
+(workers write them as they complete); the journal only records *which*
+points finished, so a ``--resume`` run restores completed points from
+the cache and recomputes exactly the missing ones. Failed points are
+deliberately treated as pending on resume — a rerun retries them, and a
+resumed table therefore converges to bit-identity with an uninterrupted
+run.
+
+Every record is flushed on write, so a SIGINT/SIGTERM (or a crash of the
+parent itself) loses at most the points still in flight. A journal on a
+read-only filesystem degrades to a warn-once no-op, mirroring the disk
+cache's behaviour: robustness layers must never become a new way to
+fail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import warnings
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Set
+
+from repro.experiments import diskcache
+
+#: Bump when the journal record format changes incompatibly.
+JOURNAL_VERSION = 1
+
+
+def journal_dir() -> Path:
+    """Where journals live: ``journals/`` beside the disk cache."""
+    return diskcache.default_cache_dir() / "journals"
+
+
+def run_id(keys: Iterable[str]) -> str:
+    """Stable identity of one requested sweep: hash of its sorted keys."""
+    digest = hashlib.sha256(f"journal-v{JOURNAL_VERSION}".encode("utf-8"))
+    for key in sorted(keys):
+        digest.update(key.encode("utf-8"))
+        digest.update(b";")
+    return digest.hexdigest()[:24]
+
+
+class RunJournal:
+    """One run's append-only completion log.
+
+    ``resume=True`` loads any existing records first (and keeps
+    appending to the same file); ``resume=False`` truncates — a fresh
+    run invalidates the previous attempt's bookkeeping.
+    """
+
+    def __init__(self, path: Path, resume: bool = False) -> None:
+        self.path = Path(path)
+        self.done: Set[str] = set()
+        self.failed: Dict[str, dict] = {}
+        self._handle = None
+        self._broken = False
+        if resume:
+            self._load()
+        self._open(append=resume)
+
+    @classmethod
+    def for_keys(cls, keys: Iterable[str], resume: bool = False) -> "RunJournal":
+        return cls(journal_dir() / f"{run_id(keys)}.jsonl", resume=resume)
+
+    # -- state ----------------------------------------------------------- #
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn final line from a hard kill: ignore
+            key = record.get("key")
+            if not key:
+                continue
+            if record.get("event") == "done":
+                self.done.add(key)
+                self.failed.pop(key, None)
+            elif record.get("event") == "failed":
+                self.failed[key] = record
+                self.done.discard(key)
+
+    def _open(self, append: bool) -> None:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a" if append else "w", encoding="utf-8")
+        except OSError as exc:
+            self._mark_broken(exc)
+
+    def _mark_broken(self, exc: OSError) -> None:
+        if not self._broken:
+            self._broken = True
+            warnings.warn(
+                f"run journal unavailable ({exc}); checkpoint/resume disabled "
+                f"for this run",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        self._handle = None
+
+    # -- recording ------------------------------------------------------- #
+
+    def _write(self, record: dict) -> None:
+        if self._handle is None:
+            return
+        try:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+        except OSError as exc:
+            self._mark_broken(exc)
+
+    def record_done(self, kind: str, key: str) -> None:
+        self.done.add(key)
+        self.failed.pop(key, None)
+        self._write({"event": "done", "kind": kind, "key": key})
+
+    def record_failed(
+        self, kind: str, key: str, error: str, message: str, attempts: int
+    ) -> None:
+        self.failed[key] = {"error": error, "message": message}
+        self._write(
+            {
+                "event": "failed",
+                "kind": kind,
+                "key": key,
+                "error": error,
+                "message": message,
+                "attempts": attempts,
+            }
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullJournal:
+    """Journal stand-in when the disk layer is disabled (``--no-cache``).
+
+    Without the content-addressed cache there is nowhere to restore
+    completed results from, so checkpointing would be dead weight.
+    """
+
+    path: Optional[Path] = None
+    done: Set[str] = frozenset()
+    failed: Dict[str, dict] = {}
+
+    def record_done(self, kind: str, key: str) -> None:
+        pass
+
+    def record_failed(self, *args, **kwargs) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass

@@ -8,6 +8,9 @@ Usage::
     python -m repro.experiments --list          # show available experiments
     python -m repro.experiments --jobs 4        # point-level parallel sweep
     python -m repro.experiments fig6 --json out.json --markdown out.md
+    python -m repro.experiments --jobs 4 --retries 2 --point-timeout 300
+    python -m repro.experiments --jobs 4 --resume   # continue an interrupted run
+    python -m repro.experiments fig13 --inject "crash:mantissa_drop_bits=11"
 
 With ``--jobs N`` the runner first collects every sweep point the
 requested experiments declare (via their ``points()`` functions), dedupes
@@ -31,9 +34,12 @@ import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Dict, List, Optional
 
+from repro import faults
+from repro.errors import ConfigurationError
 from repro.experiments import (
     ablations,
     diskcache,
+    fault_ablation,
     fig1,
     noc_calibration,
     sensitivity,
@@ -76,6 +82,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablate-confidence-steps": ablations.confidence_steps,
     "ablate-noc-model": noc_calibration.run,
     "ablate-sensitivity": sensitivity.run,
+    "ablate-memory-faults": fault_ablation.run,
 }
 
 #: Experiments decomposable into sweep points.  The rest (trace replay,
@@ -98,6 +105,7 @@ POINTS: Dict[str, Callable[..., List[SweepPoint]]] = {
     "ablate-int-confidence": ablations.int_confidence_points,
     "ablate-confidence-steps": ablations.confidence_steps_points,
     "ablate-sensitivity": sensitivity.points,
+    "ablate-memory-faults": fault_ablation.points,
 }
 
 
@@ -252,6 +260,32 @@ def main(argv=None) -> int:
         action="store_true",
         help="disable the on-disk result cache for this run (and its workers)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry each failed sweep point up to N times (exponential backoff)",
+    )
+    parser.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abandon any single sweep point attempt after SECONDS",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep from its run journal (skip completed points)",
+    )
+    parser.add_argument(
+        "--inject",
+        metavar="SPEC",
+        default=None,
+        help="fault-injection spec, e.g. 'crash:workload=canneal' or "
+        "'flip:prob=0.001' (see docs/robustness.md)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -261,17 +295,45 @@ def main(argv=None) -> int:
 
     if args.no_cache:
         diskcache.disable()
+    if args.inject:
+        try:
+            faults.activate(args.inject)
+        except ConfigurationError as exc:
+            parser.error(f"--inject: {exc}")
 
     names = args.experiments or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
-    if args.jobs > 1:
+    engine_requested = (
+        args.jobs > 1
+        or args.resume
+        or args.retries > 0
+        or args.point_timeout is not None
+    )
+    if engine_requested:
         points = gather_points(names, args.small, args.seed, args.repeats)
         if points:
-            report = SweepEngine(jobs=args.jobs).execute(points)
+            engine = SweepEngine(
+                jobs=args.jobs,
+                retries=args.retries,
+                point_timeout=args.point_timeout,
+                resume=args.resume,
+                jitter_seed=args.seed,
+            )
+            try:
+                report = engine.execute(points)
+            except KeyboardInterrupt:
+                print(
+                    "\nsweep interrupted; completed points are journaled — "
+                    "rerun with --resume to continue",
+                    file=sys.stderr,
+                )
+                return 130
             print(report.summary())
+            for failure in report.failures:
+                print(f"  FAILED {failure.describe()}", file=sys.stderr)
             print()
 
     results = []

@@ -1,4 +1,4 @@
-"""Point-level parallel sweep engine.
+"""Point-level parallel sweep engine with fault-tolerant supervision.
 
 The figure/ablation drivers are sweeps over *points* — (workload, mode,
 config, seed, scale, params) tuples fed to
@@ -23,17 +23,52 @@ This engine flips the unit of parallelism from experiments to points:
 
 Because the simulations are deterministic, a table built from engine
 results is bit-identical to one built by running the driver alone.
+
+**Supervision.** Execution survives partial failure: every point attempt
+is bounded by an optional per-point timeout, failed attempts are retried
+with exponential backoff and jitter (``retries``), a dead worker
+(``BrokenProcessPool``) rebuilds the pool and requeues the in-flight
+points, and after ``max_pool_rebuilds`` rebuilds the engine degrades to
+serial in-process execution — where even a deterministic crasher is
+reduced to a caught exception. A point that exhausts its retries yields
+a structured :class:`PointFailure` (and a FAILED table cell via the
+in-memory failure placeholders of :mod:`~repro.experiments.common`)
+instead of killing the run.
+
+**Checkpoint/resume.** A run journal
+(:class:`~repro.experiments.journal.RunJournal`, JSONL beside the disk
+cache) records each point's completion or permanent failure as it
+happens. An interrupted run — SIGINT/SIGTERM shut the pool down cleanly
+and flush the journal — resumes with ``resume=True`` (CLI ``--resume``):
+completed points are restored from the disk cache, and only the missing
+or previously failed ones are recomputed, converging to a table
+bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import math
+import random
+import signal
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+)
+from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.core.config import ApproximatorConfig
-from repro.experiments import common
+from repro.errors import PointTimeoutError
+from repro.experiments import common, diskcache
+from repro.experiments.journal import NullJournal, RunJournal
 from repro.sim.tracesim import Mode
 
 
@@ -43,7 +78,9 @@ class SweepPoint:
 
     ``mode=None`` marks a precise-baseline-only point (e.g. Table I's
     precise column, Figure 1's reference run); any technique point
-    implies its own precise baseline automatically.
+    implies its own precise baseline automatically. ``faults`` is an
+    optional memory-fault spec (see :mod:`repro.faults`) applied to the
+    technique run — baselines always execute clean.
     """
 
     workload: str
@@ -54,6 +91,8 @@ class SweepPoint:
     small: bool = False
     #: Workload parameter overrides as a sorted items tuple (hashable).
     params: Tuple[Tuple[str, object], ...] = ()
+    #: Memory-fault spec for this point ("" = clean).
+    faults: str = ""
 
     @property
     def is_technique(self) -> bool:
@@ -63,13 +102,20 @@ class SweepPoint:
         return dict(self.params) if self.params else None
 
     def baseline(self) -> "SweepPoint":
-        """The precise-baseline point this point depends on."""
+        """The precise-baseline point this point depends on (always clean)."""
         return SweepPoint(
             workload=self.workload,
             seed=self.seed,
             small=self.small,
             params=self.params,
         )
+
+    def describe(self) -> str:
+        mode = self.mode.value if self.mode is not None else "precise"
+        text = f"{self.workload}/{mode}/seed={self.seed}"
+        if self.faults:
+            text += f"/faults={self.faults}"
+        return text
 
 
 def technique_point(
@@ -80,6 +126,7 @@ def technique_point(
     seed: int = 0,
     small: bool = False,
     params: Optional[dict] = None,
+    faults: str = "",
 ) -> SweepPoint:
     """A point mirroring one :func:`common.run_technique` call."""
     return SweepPoint(
@@ -90,6 +137,7 @@ def technique_point(
         seed=seed,
         small=small,
         params=tuple(sorted((params or {}).items())),
+        faults=faults,
     )
 
 
@@ -106,6 +154,35 @@ def precise_point(
 
 
 # --------------------------------------------------------------------- #
+# Point identity                                                        #
+# --------------------------------------------------------------------- #
+
+
+def _point_fault_spec(point: SweepPoint) -> str:
+    """The canonical memory-fault spec this point's run will see."""
+    with faults.memory_faults(point.faults):
+        return faults.active_memory_spec()
+
+
+def point_disk_key(point: SweepPoint) -> str:
+    """The disk-cache (and journal) key of one sweep point."""
+    if point.is_technique:
+        return common.technique_disk_key(
+            point.workload,
+            point.mode,
+            point.config,
+            point.prefetch_degree,
+            point.seed,
+            point.small,
+            point.params,
+            _point_fault_spec(point),
+        )
+    return common._precise_disk_key(
+        point.workload, point.seed, point.small, point.params
+    )
+
+
+# --------------------------------------------------------------------- #
 # Worker entry points (module-level for pickling)                       #
 # --------------------------------------------------------------------- #
 
@@ -114,12 +191,15 @@ def _counter_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, i
     return {name: after[name] - before[name] for name in after}
 
 
-def _run_precise_worker(point: SweepPoint):
+def _run_precise_worker(point: SweepPoint, attempt: int = 0):
     """Compute one precise baseline; returns (point, reference, counters).
 
     Counters are per-task deltas — pool workers are reused across tasks,
     so cumulative values would double-count when aggregated.
     """
+    faults.before_point(
+        "precise", point.workload, None, point.seed, point.small, attempt=attempt
+    )
     before = common.COMPUTE_COUNTERS.as_dict()
     reference = common.run_precise_reference(
         point.workload, point.seed, point.small, point.params_dict()
@@ -127,28 +207,37 @@ def _run_precise_worker(point: SweepPoint):
     return point, reference, _counter_delta(before, common.COMPUTE_COUNTERS.as_dict())
 
 
-def _run_technique_worker(point: SweepPoint):
+def _run_technique_worker(point: SweepPoint, attempt: int = 0):
     """Compute one technique point; returns (point, result, counters)."""
-    before = common.COMPUTE_COUNTERS.as_dict()
-    result = common.run_technique(
+    faults.before_point(
+        "technique",
         point.workload,
-        point.mode,
+        point.mode.value if point.mode is not None else None,
+        point.seed,
+        point.small,
         config=point.config,
-        prefetch_degree=point.prefetch_degree,
-        seed=point.seed,
-        small=point.small,
-        params=point.params_dict(),
+        attempt=attempt,
     )
+    before = common.COMPUTE_COUNTERS.as_dict()
+    with faults.memory_faults(point.faults):
+        result = common.run_technique(
+            point.workload,
+            point.mode,
+            config=point.config,
+            prefetch_degree=point.prefetch_degree,
+            seed=point.seed,
+            small=point.small,
+            params=point.params_dict(),
+        )
     return point, result, _counter_delta(before, common.COMPUTE_COUNTERS.as_dict())
 
 
-def _backfill_precise(point: SweepPoint, reference) -> None:
-    key = (point.workload, point.seed, point.small, point.params)
-    common._PRECISE_CACHE[key] = reference
+def _precise_cache_key(point: SweepPoint) -> tuple:
+    return (point.workload, point.seed, point.small, point.params)
 
 
-def _backfill_technique(point: SweepPoint, result) -> None:
-    key = (
+def _technique_cache_key(point: SweepPoint) -> tuple:
+    return (
         point.workload,
         point.mode,
         point.config,
@@ -156,8 +245,69 @@ def _backfill_technique(point: SweepPoint, result) -> None:
         point.seed,
         point.small,
         point.params,
+        _point_fault_spec(point),
     )
-    common._TECHNIQUE_CACHE[key] = result
+
+
+def _backfill_precise(point: SweepPoint, reference) -> None:
+    common._PRECISE_CACHE[_precise_cache_key(point)] = reference
+
+
+def _backfill_technique(point: SweepPoint, result) -> None:
+    common._TECHNIQUE_CACHE[_technique_cache_key(point)] = result
+
+
+# --------------------------------------------------------------------- #
+# Supervision records                                                   #
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class PointFailure:
+    """One sweep point that exhausted its retries — the run survived it."""
+
+    point: SweepPoint
+    kind: str  # "precise" | "technique"
+    error_type: str
+    message: str
+    attempts: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.point.describe()} [{self.kind}]: {self.error_type}: "
+            f"{self.message} (after {self.attempts} attempt(s))"
+        )
+
+
+@dataclass
+class _Task:
+    """Mutable supervision state for one point."""
+
+    point: SweepPoint
+    kind: str
+    key: str
+    attempts: int = 0
+
+    @property
+    def worker(self):
+        return _run_precise_worker if self.kind == "precise" else _run_technique_worker
+
+
+def _sigterm_to_interrupt(signum, frame):
+    raise KeyboardInterrupt("SIGTERM")
+
+
+def _pool_worker_init() -> None:
+    """Reset SIGTERM in pool workers.
+
+    Forked workers inherit the parent's SIGTERM→KeyboardInterrupt
+    handler; a pool-rebuild ``terminate()`` would then raise inside the
+    worker and spray tracebacks instead of just dying.
+    """
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):
+        pass
 
 
 # --------------------------------------------------------------------- #
@@ -179,9 +329,19 @@ class SweepReport:
     technique_computed: int = 0
     disk_hits: int = 0
     elapsed: float = 0.0
+    #: Points restored from the journal + disk cache by ``resume``.
+    resumed_points: int = 0
+    #: Attempts rescheduled after a failure (each backs off with jitter).
+    retried_attempts: int = 0
+    #: Times the worker pool was torn down and rebuilt.
+    pool_rebuilds: int = 0
+    #: Attempts abandoned for exceeding the per-point timeout.
+    timeouts: int = 0
+    #: Points that exhausted their retries (rendered as FAILED cells).
+    failures: List[PointFailure] = field(default_factory=list)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"sweep: {self.unique_points} unique points "
             f"({self.requested_points} requested), "
             f"{self.unique_baselines} baselines "
@@ -189,6 +349,20 @@ class SweepReport:
             f"{self.technique_computed} technique runs, "
             f"{self.disk_hits} disk hits, {self.elapsed:.1f}s"
         )
+        extras = []
+        if self.resumed_points:
+            extras.append(f"{self.resumed_points} resumed")
+        if self.retried_attempts:
+            extras.append(f"{self.retried_attempts} retried")
+        if self.timeouts:
+            extras.append(f"{self.timeouts} timeouts")
+        if self.pool_rebuilds:
+            extras.append(f"{self.pool_rebuilds} pool rebuilds")
+        if self.failures:
+            extras.append(f"{len(self.failures)} FAILED")
+        if extras:
+            text += " [" + ", ".join(extras) + "]"
+        return text
 
 
 class SweepEngine:
@@ -197,12 +371,36 @@ class SweepEngine:
     One engine instance is built per CLI invocation; :meth:`execute`
     leaves ``common._PRECISE_CACHE`` / ``common._TECHNIQUE_CACHE`` warm in
     the calling process, so driver ``run()`` functions afterwards cost
-    only table assembly.
+    only table assembly. ``retries``/``point_timeout``/``resume``
+    configure the supervision layer (see the module docstring).
     """
 
-    def __init__(self, jobs: int = 1) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        retries: int = 0,
+        point_timeout: Optional[float] = None,
+        resume: bool = False,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        max_pool_rebuilds: int = 3,
+        jitter_seed: int = 0,
+    ) -> None:
         self.jobs = max(1, jobs)
+        self.retries = max(0, retries)
+        self.point_timeout = point_timeout if point_timeout and point_timeout > 0 else None
+        self.resume = resume
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.max_pool_rebuilds = max(0, max_pool_rebuilds)
         self.report = SweepReport()
+        self._jitter = random.Random(jitter_seed)
+        self._seq = itertools.count()
+        self._serial_fallback = False
+        self._failed_baseline_keys: set = set()
+        self._old_sigterm = None
+
+    # -- public entry ---------------------------------------------------- #
 
     def execute(self, points: Iterable[SweepPoint]) -> SweepReport:
         """Run every unique point (and implied baseline) exactly once."""
@@ -219,63 +417,374 @@ class SweepEngine:
         report.unique_points += len(unique)
         report.unique_baselines += len(baselines)
 
-        if self.jobs == 1:
-            self._execute_serial(baselines, technique_points)
-        else:
-            self._execute_parallel(baselines, technique_points)
+        baseline_tasks = [
+            _Task(point, "precise", point_disk_key(point)) for point in baselines
+        ]
+        technique_tasks = [
+            _Task(point, "technique", point_disk_key(point))
+            for point in technique_points
+        ]
+
+        journal = self._open_journal(baseline_tasks + technique_tasks)
+        self._install_signal_handler()
+        try:
+            if self.resume:
+                baseline_tasks = self._restore_completed(baseline_tasks, journal)
+                technique_tasks = self._restore_completed(technique_tasks, journal)
+            self._run_wave(baseline_tasks, journal)
+            technique_tasks = self._fail_orphaned(technique_tasks, journal)
+            self._run_wave(technique_tasks, journal)
+        finally:
+            self._restore_signal_handler()
+            journal.close()
 
         report.elapsed += time.time() - started
         return report
 
-    # -- serial ---------------------------------------------------------- #
+    # -- journal --------------------------------------------------------- #
 
-    def _execute_serial(
-        self, baselines: Sequence[SweepPoint], technique_points: Sequence[SweepPoint]
-    ) -> None:
-        before = common.COMPUTE_COUNTERS.as_dict()
-        for point in baselines:
-            common.run_precise_reference(
-                point.workload, point.seed, point.small, point.params_dict()
-            )
-        for point in technique_points:
-            common.run_technique(
-                point.workload,
-                point.mode,
-                config=point.config,
-                prefetch_degree=point.prefetch_degree,
-                seed=point.seed,
-                small=point.small,
-                params=point.params_dict(),
-            )
-        self._absorb_counters(before, common.COMPUTE_COUNTERS.as_dict())
+    def _open_journal(self, tasks: Sequence[_Task]):
+        """A journal beside the disk cache; a no-op one without a cache.
 
-    # -- parallel --------------------------------------------------------- #
-
-    def _execute_parallel(
-        self, baselines: Sequence[SweepPoint], technique_points: Sequence[SweepPoint]
-    ) -> None:
-        """Two waves over one process pool.
-
-        Wave 1 computes each unique baseline in exactly one worker; the
-        barrier between waves means wave-2 workers find every baseline in
-        the shared disk cache and never recompute one. Without a disk
-        cache (``--no-cache``) workers fall back to recomputing baselines
-        they need — correct, just slower.
+        Without the content-addressed disk cache there is nowhere to
+        restore completed results from, so checkpointing is disabled
+        rather than half-working.
         """
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            self._run_wave(pool, _run_precise_worker, baselines, _backfill_precise)
-            self._run_wave(
-                pool, _run_technique_worker, technique_points, _backfill_technique
-            )
+        if diskcache.active_cache() is None:
+            return NullJournal()
+        return RunJournal.for_keys([t.key for t in tasks], resume=self.resume)
 
-    def _run_wave(self, pool, worker, points: Sequence[SweepPoint], backfill) -> None:
-        if not points:
+    def _restore_completed(self, tasks: List[_Task], journal) -> List[_Task]:
+        """Serve journal-completed points from the disk cache; keep the rest.
+
+        A ``done`` record whose cache entry has vanished (evicted,
+        corrupted, cleared) silently demotes the point back to pending —
+        the journal is bookkeeping, the cache is the source of results.
+        Previously *failed* points are always retried on resume.
+        """
+        disk = diskcache.active_cache()
+        remaining: List[_Task] = []
+        for task in tasks:
+            if disk is not None and task.key in journal.done:
+                stored = disk.get(task.key)
+                expected = (
+                    common.PreciseReference
+                    if task.kind == "precise"
+                    else common.TechniqueResult
+                )
+                if isinstance(stored, expected):
+                    if task.kind == "precise":
+                        _backfill_precise(task.point, stored)
+                    else:
+                        _backfill_technique(task.point, stored)
+                    self.report.resumed_points += 1
+                    continue
+            remaining.append(task)
+        return remaining
+
+    # -- wave orchestration ---------------------------------------------- #
+
+    def _run_wave(self, tasks: Sequence[_Task], journal) -> None:
+        if not tasks:
             return
-        futures = {pool.submit(worker, point): point for point in points}
-        for future in as_completed(futures):
-            point, result, counters = future.result()
-            backfill(point, result)
-            self._absorb_counters(_ZERO_COUNTERS, counters)
+        if self.jobs == 1 or self._serial_fallback:
+            self._run_serial(tasks, journal)
+        else:
+            self._run_supervised(list(tasks), journal)
+
+    def _fail_orphaned(self, tasks: List[_Task], journal) -> List[_Task]:
+        """Pre-fail technique points whose baseline permanently failed.
+
+        Their workers would only rediscover the failure (against a
+        placeholder baseline) the slow and confusing way.
+        """
+        if not self._failed_baseline_keys:
+            return tasks
+        remaining: List[_Task] = []
+        for task in tasks:
+            baseline_key = point_disk_key(task.point.baseline())
+            if baseline_key in self._failed_baseline_keys:
+                failure = PointFailure(
+                    point=task.point,
+                    kind=task.kind,
+                    error_type="BaselineFailed",
+                    message="precise baseline for this point failed",
+                    attempts=0,
+                )
+                self._register_failure(task, failure, journal)
+            else:
+                remaining.append(task)
+        return remaining
+
+    # -- serial execution ------------------------------------------------- #
+
+    def _run_serial(self, tasks: Sequence[_Task], journal) -> None:
+        """In-process execution with the same retry/failure envelope.
+
+        Also the degradation target after repeated pool failures: an
+        injected worker crash raises in-process here (see
+        :func:`repro.faults.before_point`) and becomes a PointFailure.
+        """
+        for task in tasks:
+            while True:
+                try:
+                    _, result, counters = task.worker(task.point, task.attempts)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    task.attempts += 1
+                    if task.attempts <= self.retries:
+                        self.report.retried_attempts += 1
+                        time.sleep(self._backoff_delay(task.attempts))
+                        continue
+                    self._record_failure(task, exc, journal)
+                    break
+                else:
+                    self._record_success(task, result, counters, journal)
+                    break
+
+    # -- supervised pool execution ---------------------------------------- #
+
+    def _run_supervised(self, tasks: List[_Task], journal) -> None:
+        """The fault-tolerant parallel loop.
+
+        In-flight submissions are capped at the worker count, so a
+        submitted future starts (approximately) immediately and its
+        submission time is an honest start-of-attempt clock for the
+        per-point timeout.
+        """
+        pending: deque = deque(tasks)
+        retry_heap: List[Tuple[float, int, _Task]] = []
+        inflight: Dict[object, Tuple[_Task, float]] = {}
+        pool: Optional[ProcessPoolExecutor] = self._new_pool()
+        clean_exit = False
+        try:
+            while pending or retry_heap or inflight:
+                now = time.monotonic()
+                while retry_heap and retry_heap[0][0] <= now:
+                    pending.append(heapq.heappop(retry_heap)[2])
+
+                while pending and len(inflight) < self.jobs:
+                    task = pending.popleft()
+                    try:
+                        future = pool.submit(task.worker, task.point, task.attempts)
+                    except BrokenExecutor:
+                        pending.appendleft(task)
+                        pool = self._recover_pool(pool, inflight, pending)
+                        if pool is None:
+                            self._drain_serial(pending, retry_heap, journal)
+                            clean_exit = True
+                            return
+                        continue
+                    deadline = (
+                        now + self.point_timeout if self.point_timeout else math.inf
+                    )
+                    inflight[future] = (task, deadline)
+
+                if not inflight:
+                    if pending:
+                        continue
+                    if retry_heap:
+                        time.sleep(
+                            min(0.2, max(0.0, retry_heap[0][0] - time.monotonic()))
+                        )
+                        continue
+                    break
+
+                wait_timeout = self._wait_timeout(inflight, retry_heap)
+                done, _ = futures_wait(
+                    set(inflight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+
+                pool_broke = False
+                for future in done:
+                    task, _ = inflight.pop(future)
+                    try:
+                        _, result, counters = future.result()
+                    except BrokenExecutor:
+                        # The pool died under this task; which process
+                        # crashed is unknowable, so the task is requeued
+                        # uncharged — the rebuild limit, not the retry
+                        # budget, bounds a deterministic crasher.
+                        pending.appendleft(task)
+                        pool_broke = True
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception as exc:
+                        self._attempt_failed(task, exc, retry_heap, journal)
+                    else:
+                        self._record_success(task, result, counters, journal)
+
+                if pool_broke:
+                    pool = self._recover_pool(pool, inflight, pending)
+                    if pool is None:
+                        self._drain_serial(pending, retry_heap, journal)
+                        clean_exit = True
+                        return
+                    continue
+
+                if self.point_timeout:
+                    pool = self._reap_timeouts(
+                        pool, inflight, pending, retry_heap, journal
+                    )
+                    if pool is None:
+                        self._drain_serial(pending, retry_heap, journal)
+                        clean_exit = True
+                        return
+            clean_exit = True
+        finally:
+            if pool is not None:
+                self._shutdown_pool(pool, kill=not clean_exit)
+
+    def _wait_timeout(
+        self, inflight: Dict, retry_heap: List
+    ) -> Optional[float]:
+        now = time.monotonic()
+        candidates = []
+        next_deadline = min(deadline for _, deadline in inflight.values())
+        if next_deadline < math.inf:
+            candidates.append(next_deadline - now)
+        if retry_heap:
+            candidates.append(retry_heap[0][0] - now)
+        if not candidates:
+            return None
+        return max(0.01, min(candidates))
+
+    def _reap_timeouts(
+        self, pool, inflight: Dict, pending: deque, retry_heap: List, journal
+    ):
+        """Abandon overdue attempts; the hung worker forces a pool rebuild.
+
+        A hung worker cannot be cancelled through the executor API, so
+        the whole pool is killed: overdue tasks are charged a failed
+        attempt, innocent in-flight tasks are requeued uncharged.
+        Returns the replacement pool, or None when the rebuild budget is
+        exhausted (degrade to serial).
+        """
+        now = time.monotonic()
+        if not any(deadline <= now for _, deadline in inflight.values()):
+            return pool
+        for future, (task, deadline) in list(inflight.items()):
+            if deadline <= now:
+                self.report.timeouts += 1
+                exc = PointTimeoutError(
+                    f"{task.point.describe()} exceeded --point-timeout "
+                    f"({self.point_timeout:g}s)"
+                )
+                self._attempt_failed(task, exc, retry_heap, journal)
+            else:
+                pending.appendleft(task)
+        inflight.clear()
+        return self._rebuild_or_degrade(pool)
+
+    def _recover_pool(self, pool, inflight: Dict, pending: deque):
+        """After BrokenProcessPool: requeue everything in flight, rebuild."""
+        for task, _ in inflight.values():
+            pending.appendleft(task)
+        inflight.clear()
+        return self._rebuild_or_degrade(pool)
+
+    def _rebuild_or_degrade(self, pool):
+        self.report.pool_rebuilds += 1
+        self._shutdown_pool(pool, kill=True)
+        if self.report.pool_rebuilds > self.max_pool_rebuilds:
+            self._serial_fallback = True
+            return None
+        return self._new_pool()
+
+    def _drain_serial(self, pending: deque, retry_heap: List, journal) -> None:
+        """Finish the wave in-process after giving up on pools."""
+        remaining = list(pending) + [task for _, _, task in retry_heap]
+        pending.clear()
+        retry_heap.clear()
+        self._run_serial(remaining, journal)
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs, initializer=_pool_worker_init
+        )
+
+    @staticmethod
+    def _shutdown_pool(pool, kill: bool) -> None:
+        """Shut a pool down; ``kill`` also terminates hung workers.
+
+        Reaches into ``_processes`` because the executor API offers no
+        way to reclaim a worker stuck in an injected (or real) hang.
+        """
+        if kill:
+            for process in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- attempt bookkeeping ---------------------------------------------- #
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff with multiplicative jitter in [0.5, 1.5)."""
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        return delay * (0.5 + self._jitter.random())
+
+    def _attempt_failed(self, task: _Task, exc: Exception, retry_heap, journal) -> None:
+        task.attempts += 1
+        if task.attempts <= self.retries:
+            self.report.retried_attempts += 1
+            eligible = time.monotonic() + self._backoff_delay(task.attempts)
+            heapq.heappush(retry_heap, (eligible, next(self._seq), task))
+        else:
+            self._record_failure(task, exc, journal)
+
+    def _record_success(self, task: _Task, result, counters, journal) -> None:
+        if task.kind == "precise":
+            _backfill_precise(task.point, result)
+        else:
+            _backfill_technique(task.point, result)
+        self._absorb_counters(_ZERO_COUNTERS, counters)
+        journal.record_done(task.kind, task.key)
+
+    def _record_failure(self, task: _Task, exc: Exception, journal) -> None:
+        failure = PointFailure(
+            point=task.point,
+            kind=task.kind,
+            error_type=type(exc).__name__,
+            message=str(exc) or type(exc).__name__,
+            attempts=max(1, task.attempts),
+        )
+        self._register_failure(task, failure, journal)
+
+    def _register_failure(self, task: _Task, failure: PointFailure, journal) -> None:
+        self.report.failures.append(failure)
+        message = f"{failure.error_type}: {failure.message}"
+        if task.kind == "precise":
+            _backfill_precise(task.point, common.failed_precise_reference(message))
+            self._failed_baseline_keys.add(task.key)
+        else:
+            _backfill_technique(task.point, common.failed_technique_result(message))
+        journal.record_failed(
+            task.kind, task.key, failure.error_type, failure.message, failure.attempts
+        )
+
+    # -- signals ---------------------------------------------------------- #
+
+    def _install_signal_handler(self) -> None:
+        """Fold SIGTERM into the KeyboardInterrupt shutdown path."""
+        self._old_sigterm = None
+        if threading.current_thread() is threading.main_thread():
+            try:
+                self._old_sigterm = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
+            except (ValueError, OSError):
+                self._old_sigterm = None
+
+    def _restore_signal_handler(self) -> None:
+        if self._old_sigterm is not None:
+            try:
+                signal.signal(signal.SIGTERM, self._old_sigterm)
+            except (ValueError, OSError):
+                pass
+            self._old_sigterm = None
+
+    # -- counters ---------------------------------------------------------- #
 
     def _absorb_counters(self, before: Dict[str, int], after: Dict[str, int]) -> None:
         report = self.report
@@ -301,7 +810,7 @@ _ZERO_COUNTERS: Dict[str, int] = {
 }
 
 
-def execute_points(points: Iterable[SweepPoint], jobs: int = 1) -> SweepReport:
+def execute_points(points: Iterable[SweepPoint], jobs: int = 1, **kwargs) -> SweepReport:
     """Convenience wrapper: one engine, one execution."""
-    engine = SweepEngine(jobs=jobs)
+    engine = SweepEngine(jobs=jobs, **kwargs)
     return engine.execute(points)

@@ -1,0 +1,103 @@
+"""Engine-fault injectors: crash, hang, raise and flaky sweep workers.
+
+:func:`before_point` is called by every sweep worker (and by the serial
+executor in the parent) at the top of a point's computation. When the
+active spec (``REPRO_INJECT`` / :func:`activate`) contains an engine
+clause matching the point, the injector fires:
+
+* ``crash`` — the worker process dies via ``os._exit`` (exercising
+  ``BrokenProcessPool`` recovery). In the parent process it degrades to
+  raising :class:`~repro.errors.WorkerCrashError` so the serial fallback
+  records a :class:`~repro.experiments.sweep.PointFailure` instead of
+  killing the whole run.
+* ``hang`` — the worker sleeps ``seconds`` (default 3600; exercising the
+  per-point timeout and pool-rebuild path).
+* ``raise`` — raises :class:`~repro.errors.FaultInjectionError`
+  deterministically on every attempt (exercising retry exhaustion).
+* ``flaky`` — raises :class:`~repro.errors.WorkerCrashError` while
+  ``attempt < fails`` (default 1), then succeeds (exercising that
+  bounded retries actually recover transient failures).
+
+Matching is deterministic and purely point-predicated (see
+:meth:`repro.faults.spec.FaultClause.matches`), so the same point fails
+the same way on every attempt of every run — which is what makes the
+engine's recovery behaviour testable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Optional
+
+from repro.errors import FaultInjectionError, WorkerCrashError
+from repro.faults import spec as spec_mod
+from repro.faults.memory import INJECT_ENV
+
+#: Exit status of an injected worker crash (visible in pool diagnostics).
+CRASH_EXIT_STATUS = 23
+
+
+def activate(spec: str) -> None:
+    """Install a fault spec process-wide (validates it first).
+
+    The spec travels through the environment so pool workers inherit it
+    with no extra plumbing — exactly like the disk-cache configuration.
+    """
+    spec_mod.parse_spec(spec)  # fail fast on typos, before any fork
+    os.environ[INJECT_ENV] = spec
+
+
+def deactivate() -> None:
+    """Remove the active fault spec (mainly for tests)."""
+    os.environ.pop(INJECT_ENV, None)
+
+
+def active_engine_clauses() -> tuple:
+    raw = os.environ.get(INJECT_ENV, "")
+    if not raw:
+        return ()
+    return spec_mod.engine_clauses(spec_mod.parse_spec(raw))
+
+
+def _in_worker_process() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def before_point(
+    point_kind: str,
+    workload: str,
+    mode: Optional[str],
+    seed: int,
+    small: bool,
+    config: object = None,
+    attempt: int = 0,
+) -> None:
+    """Fire any matching engine fault for this point computation."""
+    for clause in active_engine_clauses():
+        if not clause.matches(point_kind, workload, mode, seed, small, config):
+            continue
+        description = f"injected {clause.kind} at {workload}/{mode or 'precise'}"
+        if clause.kind == "crash":
+            if _in_worker_process():
+                os._exit(CRASH_EXIT_STATUS)
+            raise WorkerCrashError(f"{description} (in-process)")
+        if clause.kind == "hang":
+            time.sleep(float(clause.get("seconds", 3600)))
+        elif clause.kind == "raise":
+            raise FaultInjectionError(description)
+        elif clause.kind == "flaky":
+            if attempt < int(clause.get("fails", 1)):
+                raise WorkerCrashError(f"{description} (attempt {attempt})")
+
+
+def corrupt_entry(path) -> None:
+    """Garble one on-disk cache entry in place (test helper).
+
+    Overwrites the file with bytes that start like a pickle but are
+    truncated mid-stream — the shape a crash mid-write (on a filesystem
+    without atomic rename) or disk pressure would leave behind.
+    """
+    with open(path, "wb") as handle:
+        handle.write(b"\x80\x05INJECTED-CORRUPTION")

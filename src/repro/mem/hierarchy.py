@@ -19,7 +19,9 @@ from repro.mem.memory import MainMemory
 class HierarchyAccess:
     """Outcome of a load walking the hierarchy."""
 
-    #: "l1", "l2" or "memory" — the level that supplied the data.
+    #: "l1", "l2" or "memory" — the level that supplied the data; "none"
+    #: when the fetch was cancelled, "dropped" when an injected memory
+    #: fault silently lost it.
     served_by: str
     #: Total latency in cycles, summing each level traversed.
     latency: int
@@ -35,6 +37,7 @@ class TwoLevelHierarchy:
         l1: Optional[SetAssociativeCache] = None,
         l2: Optional[SetAssociativeCache] = None,
         memory: Optional[MainMemory] = None,
+        fault_model: Optional[object] = None,
     ) -> None:
         self.l1 = l1 or SetAssociativeCache(
             CacheConfig(size_bytes=16 * 1024, associativity=8, latency=1), name="l1"
@@ -42,7 +45,7 @@ class TwoLevelHierarchy:
         self.l2 = l2 or SetAssociativeCache(
             CacheConfig(size_bytes=512 * 1024, associativity=16, latency=6), name="l2"
         )
-        self.memory = memory or MainMemory()
+        self.memory = memory or MainMemory(fault_model=fault_model)
 
     def load(self, addr: int, fetch_on_miss: bool = True) -> HierarchyAccess:
         """Access ``addr``; on an L1 miss optionally fetch through L2/memory.
@@ -60,7 +63,11 @@ class TwoLevelHierarchy:
         if self.l2.probe(addr):
             self._fill_l1(addr)
             return HierarchyAccess(served_by="l2", latency=latency, l1_filled=True)
-        latency += self.memory.read(addr)
+        memory_latency, delivered = self.memory.fetch_block(addr)
+        latency += memory_latency
+        if not delivered:
+            # Injected fault: the fill never arrives, nothing is cached.
+            return HierarchyAccess(served_by="dropped", latency=latency, l1_filled=False)
         self.l2.fill(addr)
         self._fill_l1(addr)
         return HierarchyAccess(served_by="memory", latency=latency, l1_filled=True)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -13,6 +14,8 @@ class MemoryStats:
 
     reads: int = 0
     writes: int = 0
+    #: Block fetches silently lost to an injected fault (repro.faults).
+    dropped_reads: int = 0
 
     @property
     def accesses(self) -> int:
@@ -29,13 +32,20 @@ class MainMemory:
     :mod:`repro.energy`.
     """
 
-    def __init__(self, latency: int = 160, size_bytes: int = 1 << 30) -> None:
+    def __init__(
+        self,
+        latency: int = 160,
+        size_bytes: int = 1 << 30,
+        fault_model: Optional[object] = None,
+    ) -> None:
         if latency < 0:
             raise ConfigurationError("memory latency must be >= 0")
         if size_bytes <= 0:
             raise ConfigurationError("memory size must be positive")
         self.latency = latency
         self.size_bytes = size_bytes
+        #: Optional :class:`repro.faults.MemoryFaultModel` dropping fetches.
+        self.fault_model = fault_model
         self.stats = MemoryStats()
 
     def read(self, addr: int) -> int:
@@ -43,6 +53,20 @@ class MainMemory:
         del addr
         self.stats.reads += 1
         return self.latency
+
+    def fetch_block(self, addr: int) -> Tuple[int, bool]:
+        """Fault-aware block fetch: ``(latency, delivered)``.
+
+        A dropped fetch still pays the full access latency (the request
+        went out; the fill never came back) but delivers no data — the
+        caller must not fill any cache level from it.
+        """
+        del addr
+        if self.fault_model is not None and self.fault_model.drop_fetch():
+            self.stats.dropped_reads += 1
+            return self.latency, False
+        self.stats.reads += 1
+        return self.latency, True
 
     def write(self, addr: int) -> int:
         """Write back the block containing ``addr``; returns the latency."""

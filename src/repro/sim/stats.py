@@ -33,6 +33,10 @@ class SimulationStats:
     prefetch_fetches: int = 0
     #: Demand fetches skipped thanks to the approximation degree.
     fetches_avoided: int = 0
+    #: Fetches silently lost to an injected memory fault (repro.faults).
+    fetches_dropped: int = 0
+    #: Memory-served values corrupted by an injected bit flip.
+    value_bit_flips: int = 0
     #: Distinct PCs of loads to approximate data (Figure 12).
     static_approx_pcs: Set[int] = field(default_factory=set)
 
@@ -82,6 +86,8 @@ class SimulationStats:
             "fetches": self.fetches,
             "prefetch_fetches": self.prefetch_fetches,
             "fetches_avoided": self.fetches_avoided,
+            "fetches_dropped": self.fetches_dropped,
+            "value_bit_flips": self.value_bit_flips,
             "mpki": self.mpki,
             "raw_mpki": self.raw_mpki,
             "coverage": self.coverage,

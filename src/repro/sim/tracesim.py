@@ -24,6 +24,7 @@ from typing import Optional, Union
 
 from repro.core.approximator import DelayQueue, LoadValueApproximator
 from repro.core.config import ApproximatorConfig
+from repro.faults.memory import build_memory_model
 from repro.core.predictor import IdealizedLoadValuePredictor
 from repro.errors import ConfigurationError
 from repro.mem.cache import CacheConfig, SetAssociativeCache
@@ -68,6 +69,10 @@ class TraceSimulator(MemoryFrontend):
         self.predictor: Optional[IdealizedLoadValuePredictor] = None
         self.prefetcher: Optional[Prefetcher] = None
         self._delay: Optional[DelayQueue] = None
+        # Injected memory faults (None in the overwhelmingly common clean
+        # case; the miss path pays one is-None test). Built per simulator
+        # so the seeded fault pattern is deterministic per run.
+        self._mem_faults = build_memory_model()
 
         config = approximator_config or ApproximatorConfig()
         if mode is Mode.LVA:
@@ -103,6 +108,17 @@ class TraceSimulator(MemoryFrontend):
 
         self.stats.raw_misses += 1
 
+        # On a miss the value comes from the memory hierarchy; an injected
+        # fault model may corrupt it in flight (silent data corruption).
+        # Only approximable data is exposed: pointers and control data live
+        # in reliable storage (the paper's EnerJ-style annotation separates
+        # exactly these), so a corrupted value degrades output quality
+        # rather than crashing the modelled program.
+        if approximable and self._mem_faults is not None:
+            actual, flipped = self._mem_faults.corrupt_value(actual, is_float)
+            if flipped:
+                self.stats.value_bit_flips += 1
+
         if self.mode is Mode.PREFETCH:
             self._fetch(addr)
             for candidate in self.prefetcher.on_miss(pc, addr):
@@ -115,8 +131,8 @@ class TraceSimulator(MemoryFrontend):
 
         if self.mode is Mode.LVP and approximable:
             decision = self.predictor.on_miss(pc, is_float)
-            self._fetch(addr)  # LVP must always validate: 1:1 fetches
-            self._delay.push(decision.token, actual)
+            if self._fetch(addr):  # LVP must always validate: 1:1 fetches
+                self._delay.push(decision.token, actual)
             return actual  # rollbacks restore precision
 
         self._fetch(addr)
@@ -127,8 +143,9 @@ class TraceSimulator(MemoryFrontend):
     ) -> Number:
         decision = self.approximator.on_miss(pc, is_float)
         if decision.fetch:
-            self._fetch(addr)
-            self._delay.push(decision.token, actual)
+            # A dropped fetch means the block never arrives: no training.
+            if self._fetch(addr):
+                self._delay.push(decision.token, actual)
         else:
             self.stats.fetches_avoided += 1
         if decision.approximated:
@@ -166,11 +183,16 @@ class TraceSimulator(MemoryFrontend):
             if self.predictor.train(token, actual):
                 self.stats.covered_misses += 1
 
-    def _fetch(self, addr: int, prefetched: bool = False) -> None:
+    def _fetch(self, addr: int, prefetched: bool = False) -> bool:
+        """Fetch a block into the L1; False when an injected fault drops it."""
+        if self._mem_faults is not None and self._mem_faults.drop_fetch():
+            self.stats.fetches_dropped += 1
+            return False
         self.stats.fetches += 1
         if prefetched:
             self.stats.prefetch_fetches += 1
         self.l1.fill(addr, prefetched=prefetched)
+        return True
 
     # ------------------------------------------------------------------ #
     # Lifecycle                                                          #

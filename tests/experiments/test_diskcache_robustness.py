@@ -1,0 +1,116 @@
+"""Disk-cache behaviour under hostile filesystems and concurrent writers."""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+
+import pytest
+
+from repro import faults
+from repro.experiments.diskcache import DiskCache
+
+
+class TestUnwritableCache:
+    def test_put_warns_once_then_noops(self, tmp_path, monkeypatch):
+        # chmod tricks don't bind root (CI containers), so break the
+        # write syscall itself — the read-only-filesystem shape.
+        import repro.experiments.diskcache as diskcache_mod
+
+        def refuse(*args, **kwargs):
+            raise PermissionError(30, "Read-only file system")
+
+        monkeypatch.setattr(diskcache_mod.tempfile, "mkstemp", refuse)
+        cache = DiskCache(directory=tmp_path / "cache")
+        with pytest.warns(RuntimeWarning, match="not writable"):
+            cache.put("a" * 64, {"x": 1})
+        assert cache._broken
+        # Subsequent stores are silent no-ops, not repeated warnings.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cache.put("b" * 64, {"x": 2})
+        assert cache.stats.stores == 0
+
+    def test_get_keeps_working_after_put_breaks(self, tmp_path, monkeypatch):
+        import repro.experiments.diskcache as diskcache_mod
+
+        directory = tmp_path / "cache"
+        cache = DiskCache(directory=directory)
+        cache.put("c" * 64, {"x": 3})  # healthy store first
+
+        def refuse(*args, **kwargs):
+            raise PermissionError(30, "Read-only file system")
+
+        monkeypatch.setattr(diskcache_mod.tempfile, "mkstemp", refuse)
+        with pytest.warns(RuntimeWarning):
+            cache.put("d" * 64, {"x": 4})
+        assert cache.get("c" * 64) == {"x": 3}
+
+    def test_unwritable_parent_never_raises(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("file, not a directory")
+        cache = DiskCache(directory=blocker / "cache")
+        with pytest.warns(RuntimeWarning):
+            cache.put("e" * 64, {"x": 5})
+        assert cache.get("e" * 64) is None
+
+
+class TestCorruptEntries:
+    def test_injected_corruption_heals_on_read(self, tmp_path):
+        cache = DiskCache(directory=tmp_path / "cache")
+        key = "f" * 64
+        cache.put(key, {"x": 6})
+        faults.corrupt_entry(cache._path(key))
+
+        assert cache.get(key) is None  # treated as a miss
+        assert not cache._path(key).exists()  # and deleted
+        cache.put(key, {"x": 6})  # the slot heals
+        assert cache.get(key) == {"x": 6}
+
+
+def _hammer_writer(directory: str, key: str, payload_size: int, rounds: int) -> None:
+    from pathlib import Path
+
+    cache = DiskCache(directory=Path(directory))
+    record = {"blob": b"\xab" * payload_size}
+    for _ in range(rounds):
+        cache.put(key, record)
+
+
+class TestConcurrentWriters:
+    def test_same_key_racing_processes_never_produce_torn_entry(self, tmp_path):
+        """Two processes hammering the same key (the scenario of two
+        --jobs workers finishing the same deduped point) must always
+        leave a fully readable entry: atomic rename, never truncation."""
+        directory = tmp_path / "cache"
+        key = "0" * 64
+        # A payload large enough that a non-atomic write would be torn.
+        payload_size, rounds = 1 << 20, 30
+
+        ctx = multiprocessing.get_context("fork")
+        writers = [
+            ctx.Process(
+                target=_hammer_writer, args=(str(directory), key, payload_size, rounds)
+            )
+            for _ in range(2)
+        ]
+        cache = DiskCache(directory=directory)
+        for writer in writers:
+            writer.start()
+        torn = 0
+        observations = 0
+        while any(w.is_alive() for w in writers):
+            record = cache.get(key)
+            if record is not None:
+                observations += 1
+                if len(record["blob"]) != payload_size:
+                    torn += 1
+        for writer in writers:
+            writer.join()
+            assert writer.exitcode == 0
+
+        assert torn == 0
+        final = cache.get(key)
+        assert final is not None and len(final["blob"]) == payload_size
+        # No stray temp files left behind by the racing writers.
+        assert not list(directory.glob("*/*.tmp"))

@@ -1,0 +1,114 @@
+"""KeyboardInterrupt mid-sweep: clean shutdown, journal flush, resume."""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _runner_env(cache_dir: Path, inject: str = "") -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env.pop("REPRO_NO_CACHE", None)
+    if inject:
+        env["REPRO_INJECT"] = inject
+    else:
+        env.pop("REPRO_INJECT", None)
+    return env
+
+
+def _run_cli(args, env, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments", *args],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=180,
+        **kwargs,
+    )
+
+
+@pytest.mark.slow
+class TestInterruptedSweep:
+    def test_sigint_flushes_journal_and_resume_completes(self, tmp_path):
+        """SIGINT a --jobs run stuck on an injected hang; the journal must
+        hold the completed points, and --resume must recompute only the
+        missing ones, converging to the uninterrupted table."""
+        cache_dir = tmp_path / "cache"
+
+        # The hang occupies one worker while the other finishes every
+        # remaining point; the parent then blocks waiting on the hang.
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments",
+                "fig13",
+                "--small",
+                "--jobs",
+                "2",
+            ],
+            env=_runner_env(cache_dir, inject="hang:mantissa_drop_bits=23,seconds=300"),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            start_new_session=True,  # own process group: SIGINT hits only it
+        )
+
+        journal_dir = cache_dir / "journals"
+        deadline = time.time() + 120
+        journal_file = None
+        try:
+            # Wait until every non-hung point is journaled (5 of 6).
+            while time.time() < deadline:
+                files = list(journal_dir.glob("*.jsonl"))
+                if files:
+                    journal_file = files[0]
+                    lines = [
+                        l
+                        for l in journal_file.read_text().splitlines()
+                        if l.strip()
+                    ]
+                    if len(lines) >= 5:
+                        break
+                time.sleep(0.1)
+            else:
+                pytest.fail("journal never accumulated the healthy points")
+
+            os.killpg(process.pid, signal.SIGINT)
+            stdout, stderr = process.communicate(timeout=60)
+        finally:
+            if process.poll() is None:
+                os.killpg(process.pid, signal.SIGKILL)
+                process.communicate()
+
+        assert process.returncode == 130, (stdout, stderr)
+        assert "--resume" in stderr
+
+        # Resume without the injected hang: recomputes only the hung point.
+        resumed = _run_cli(
+            ["fig13", "--small", "--resume"], _runner_env(cache_dir)
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "resumed" in resumed.stdout
+        assert "FAILED" not in resumed.stdout
+
+        # And the resumed table equals a pristine uninterrupted run.
+        pristine = _run_cli(
+            ["fig13", "--small"], _runner_env(tmp_path / "cache2")
+        )
+        def table(text: str) -> str:
+            start = text.index("== Figure 13")
+            end = text.index("[fig13 completed")  # wall-clock suffix varies
+            return text[start:end]
+
+        assert table(resumed.stdout) == table(pristine.stdout)

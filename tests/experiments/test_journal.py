@@ -1,0 +1,183 @@
+"""The run journal and checkpoint/resume (repro.experiments.journal)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import faults
+from repro.experiments import common, diskcache, fig13
+from repro.experiments.journal import NullJournal, RunJournal, run_id
+from repro.experiments.sweep import SweepEngine
+
+
+@pytest.fixture
+def clean_caches(monkeypatch, tmp_path):
+    """Disk cache in tmp_path, empty in-memory caches, fresh counters."""
+    monkeypatch.delenv(diskcache.NO_CACHE_ENV, raising=False)
+    monkeypatch.setenv(diskcache.CACHE_DIR_ENV, str(tmp_path / "cache"))
+    monkeypatch.setattr(diskcache, "_DISABLED_OVERRIDE", False)
+    monkeypatch.setattr(diskcache, "_ACTIVE", None)
+    monkeypatch.setattr(diskcache, "_ACTIVE_DIR", None)
+    monkeypatch.setattr(common, "COMPUTE_COUNTERS", common.ComputeCounters())
+    saved_precise = dict(common._PRECISE_CACHE)
+    saved_technique = dict(common._TECHNIQUE_CACHE)
+    common._PRECISE_CACHE.clear()
+    common._TECHNIQUE_CACHE.clear()
+    yield
+    faults.deactivate()
+    common._PRECISE_CACHE.clear()
+    common._TECHNIQUE_CACHE.clear()
+    common._PRECISE_CACHE.update(saved_precise)
+    common._TECHNIQUE_CACHE.update(saved_technique)
+
+
+class TestRunId:
+    def test_order_insensitive(self):
+        assert run_id(["a", "b", "c"]) == run_id(["c", "a", "b"])
+
+    def test_different_point_sets_differ(self):
+        assert run_id(["a", "b"]) != run_id(["a", "b", "c"])
+
+
+class TestRunJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record_done("precise", "k1")
+            journal.record_done("technique", "k2")
+            journal.record_failed("technique", "k3", "RuntimeError", "boom", 2)
+
+        reloaded = RunJournal(path, resume=True)
+        assert reloaded.done == {"k1", "k2"}
+        assert set(reloaded.failed) == {"k3"}
+        reloaded.close()
+
+    def test_done_after_failed_wins(self, tmp_path):
+        """A --resume rerun that recomputes a failed point journals a
+        done record for the same key; the replay must honour the latest."""
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record_failed("technique", "k", "RuntimeError", "boom", 1)
+            journal.record_done("technique", "k")
+        reloaded = RunJournal(path, resume=True)
+        assert reloaded.done == {"k"}
+        assert not reloaded.failed
+        reloaded.close()
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record_done("technique", "k1")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "done", "kind": "tech')  # hard kill mid-write
+
+        reloaded = RunJournal(path, resume=True)
+        assert reloaded.done == {"k1"}
+        reloaded.close()
+
+    def test_fresh_run_truncates(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record_done("technique", "k1")
+        with RunJournal(path, resume=False) as journal:
+            pass
+        assert path.read_text() == ""
+
+    def test_unwritable_location_warns_once_and_noops(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory is needed")
+        with pytest.warns(RuntimeWarning, match="journal unavailable"):
+            journal = RunJournal(blocker / "sub" / "run.jsonl")
+        # Records are dropped silently after the single warning.
+        journal.record_done("technique", "k1")
+        journal.record_failed("technique", "k2", "E", "m", 1)
+        journal.close()
+
+    def test_null_journal_is_inert(self):
+        journal = NullJournal()
+        journal.record_done("technique", "k")
+        journal.record_failed("technique", "k", "E", "m", 1)
+        assert journal.done == frozenset()
+        journal.close()
+
+
+class TestEngineResume:
+    def test_interrupted_run_resumes_only_missing_points(self, clean_caches):
+        """Acceptance: a run with one FAILED point, rerun with resume=True,
+        recomputes exactly the missing point and completes the table."""
+        faults.activate("raise:mantissa_drop_bits=11")
+        first = SweepEngine(jobs=1).execute(fig13.points(small=True))
+        assert len(first.failures) == 1
+        faults.deactivate()
+
+        # A fresh process would start with cold in-memory caches (but the
+        # disk cache and journal survive).
+        common._PRECISE_CACHE.clear()
+        common._TECHNIQUE_CACHE.clear()
+        common._TRACE_CACHE.clear()
+
+        second = SweepEngine(jobs=1, resume=True).execute(fig13.points(small=True))
+        assert not second.failures
+        assert second.resumed_points == 5  # 1 baseline + 4 healthy points
+        assert second.technique_computed == 1  # only the previously failed one
+
+        table = fig13.run(small=True)
+        assert not any(
+            math.isnan(v) for v in table.series["normalized_mpki"].values()
+        )
+
+    def test_resumed_table_is_bitwise_identical(self, clean_caches):
+        faults.activate("raise:mantissa_drop_bits=11")
+        SweepEngine(jobs=1).execute(fig13.points(small=True))
+        faults.deactivate()
+        common._PRECISE_CACHE.clear()
+        common._TECHNIQUE_CACHE.clear()
+        common._TRACE_CACHE.clear()
+        SweepEngine(jobs=1, resume=True).execute(fig13.points(small=True))
+        resumed = fig13.run(small=True)
+
+        # Uninterrupted run on pristine caches, different directory.
+        import os
+
+        os.environ[diskcache.CACHE_DIR_ENV] = os.environ[diskcache.CACHE_DIR_ENV] + "2"
+        diskcache._ACTIVE = None
+        common._PRECISE_CACHE.clear()
+        common._TECHNIQUE_CACHE.clear()
+        common._TRACE_CACHE.clear()
+        SweepEngine(jobs=1).execute(fig13.points(small=True))
+        pristine = fig13.run(small=True)
+
+        assert resumed.series == pristine.series
+
+    def test_journal_written_next_to_cache(self, clean_caches):
+        SweepEngine(jobs=1).execute(fig13.points(small=True))
+        journals = list((diskcache.default_cache_dir() / "journals").glob("*.jsonl"))
+        assert len(journals) == 1
+        records = [
+            json.loads(line)
+            for line in journals[0].read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(records) == 6  # 1 baseline + 5 technique points
+        assert {r["event"] for r in records} == {"done"}
+
+    def test_no_cache_run_journals_nothing(self, monkeypatch, tmp_path):
+        """With the disk layer off the engine must not scribble journals
+        into the user's home directory."""
+        monkeypatch.setenv(diskcache.NO_CACHE_ENV, "1")
+        monkeypatch.setenv(diskcache.CACHE_DIR_ENV, str(tmp_path / "nope"))
+        saved_precise = dict(common._PRECISE_CACHE)
+        saved_technique = dict(common._TECHNIQUE_CACHE)
+        common._PRECISE_CACHE.clear()
+        common._TECHNIQUE_CACHE.clear()
+        try:
+            SweepEngine(jobs=1).execute(fig13.points(small=True))
+            assert not (tmp_path / "nope").exists()
+        finally:
+            common._PRECISE_CACHE.clear()
+            common._TECHNIQUE_CACHE.clear()
+            common._PRECISE_CACHE.update(saved_precise)
+            common._TECHNIQUE_CACHE.update(saved_technique)

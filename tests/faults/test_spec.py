@@ -1,0 +1,97 @@
+"""The fault-spec grammar (repro.faults.spec)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ApproximatorConfig
+from repro.errors import ConfigurationError
+from repro.faults import (
+    canonical_spec,
+    engine_clauses,
+    memory_clauses,
+    parse_spec,
+)
+
+
+class TestParsing:
+    def test_single_clause_with_typed_params(self):
+        (clause,) = parse_spec("flip:prob=0.001,bits=2,region=exponent")
+        assert clause.kind == "flip"
+        assert clause.get("prob") == 0.001
+        assert clause.get("bits") == 2
+        assert clause.get("region") == "exponent"
+
+    def test_bare_kind_and_multiple_clauses(self):
+        clauses = parse_spec("crash; drop:prob=0.01")
+        assert [c.kind for c in clauses] == ["crash", "drop"]
+        assert clauses[0].params == ()
+
+    def test_bool_values(self):
+        (clause,) = parse_spec("crash:small=true")
+        assert clause.get("small") is True
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            parse_spec("explode:prob=1")
+
+    def test_malformed_parameter_rejected(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            parse_spec("crash:workload")
+
+    def test_empty_spec_is_empty(self):
+        assert parse_spec("") == ()
+        assert parse_spec(" ; ") == ()
+
+
+class TestCanonical:
+    def test_param_order_is_irrelevant(self):
+        a = canonical_spec(parse_spec("flip:seed=3,prob=0.05"))
+        b = canonical_spec(parse_spec("flip:prob=0.05,seed=3"))
+        assert a == b == "flip:prob=0.05,seed=3"
+
+    def test_clause_order_is_irrelevant(self):
+        a = canonical_spec(parse_spec("drop:prob=0.01;flip:prob=0.001"))
+        b = canonical_spec(parse_spec("flip:prob=0.001;drop:prob=0.01"))
+        assert a == b
+
+    def test_family_split(self):
+        clauses = parse_spec("crash:workload=canneal;flip:prob=0.001")
+        assert [c.kind for c in engine_clauses(clauses)] == ["crash"]
+        assert [c.kind for c in memory_clauses(clauses)] == ["flip"]
+
+
+class TestMatching:
+    def test_defaults_to_technique_points_only(self):
+        (clause,) = parse_spec("crash")
+        assert clause.matches("technique", "canneal", "lva", 0, True)
+        assert not clause.matches("precise", "canneal", None, 0, True)
+
+    def test_kind_any_matches_both(self):
+        (clause,) = parse_spec("crash:kind=any")
+        assert clause.matches("technique", "canneal", "lva", 0, True)
+        assert clause.matches("precise", "canneal", None, 0, True)
+
+    def test_workload_and_seed_selectors(self):
+        (clause,) = parse_spec("crash:workload=canneal,seed=2")
+        assert clause.matches("technique", "canneal", "lva", 2, False)
+        assert not clause.matches("technique", "canneal", "lva", 0, False)
+        assert not clause.matches("technique", "ferret", "lva", 2, False)
+
+    def test_mode_selector_is_case_insensitive(self):
+        (clause,) = parse_spec("crash:mode=LVA")
+        assert clause.matches("technique", "canneal", "lva", 0, False)
+        assert not clause.matches("technique", "canneal", "lvp", 0, False)
+
+    def test_config_field_selector(self):
+        (clause,) = parse_spec("crash:mantissa_drop_bits=11")
+        hit = ApproximatorConfig(mantissa_drop_bits=11)
+        miss = ApproximatorConfig(mantissa_drop_bits=5)
+        assert clause.matches("technique", "fluidanimate", "lva", 0, True, hit)
+        assert not clause.matches("technique", "fluidanimate", "lva", 0, True, miss)
+        assert not clause.matches("technique", "fluidanimate", "lva", 0, True, None)
+
+    def test_behavioural_params_do_not_select(self):
+        """fails=/seconds= configure the fault, not which points it hits."""
+        (clause,) = parse_spec("flaky:fails=2")
+        assert clause.matches("technique", "canneal", "lva", 0, False)
