@@ -1,0 +1,155 @@
+"""Lint engine: file discovery, module naming, rule execution.
+
+Three entry points share one pipeline:
+
+* :func:`run_paths` — lint files/directories on disk (the ``lva-lint``
+  CLI and the pytest self-clean gate);
+* :func:`check_source` / :func:`check_sources` — lint in-memory snippets
+  under a chosen dotted module name (the fixture tests);
+* :func:`run_modules` — lint pre-built :class:`ModuleInfo` objects.
+
+Module names are derived from the filesystem: the engine walks up from
+each file through directories containing ``__init__.py``, so
+``src/repro/mem/cache.py`` lints as ``repro.mem.cache`` wherever the
+source tree is checked out.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
+from repro.analysis.core import (
+    ModuleInfo,
+    ProjectContext,
+    Violation,
+    all_rules,
+)
+
+#: Rule id used for files that fail to parse at all.
+SYNTAX_RULE_ID = "LVA000"
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, walking up through packages."""
+    resolved = path.resolve()
+    parts: List[str] = [resolved.stem]
+    current = resolved.parent
+    while (current / "__init__.py").exists():
+        parts.append(current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    if parts[0] == "__init__":
+        parts = parts[1:] or [resolved.parent.name]
+    return ".".join(reversed(parts))
+
+
+def discover_files(paths: Iterable[str]) -> List[Tuple[Path, str]]:
+    """Expand files/directories into (path, display path) pairs, sorted."""
+    found: Dict[Path, str] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                found[candidate.resolve()] = os.path.normpath(str(candidate))
+        elif path.suffix == ".py":
+            found[path.resolve()] = os.path.normpath(str(path))
+    return sorted(found.items(), key=lambda item: item[1])
+
+
+def load_modules(
+    files: Iterable[Tuple[Path, str]]
+) -> Tuple[List[ModuleInfo], List[Violation]]:
+    """Parse files into ModuleInfos; unparseable files become LVA000."""
+    infos: List[ModuleInfo] = []
+    errors: List[Violation] = []
+    for path, display in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            errors.append(
+                Violation(SYNTAX_RULE_ID, display, 1, 1, f"unreadable file: {exc}")
+            )
+            continue
+        try:
+            infos.append(
+                ModuleInfo.from_source(source, module_name_for(path), display)
+            )
+        except SyntaxError as exc:
+            errors.append(
+                Violation(
+                    SYNTAX_RULE_ID,
+                    display,
+                    exc.lineno or 1,
+                    (exc.offset or 0) + 1,
+                    f"syntax error: {exc.msg}",
+                )
+            )
+    return infos, errors
+
+
+def run_modules(
+    infos: List[ModuleInfo],
+    config: AnalysisConfig = DEFAULT_CONFIG,
+    select: Optional[FrozenSet[str]] = None,
+    ignore: Optional[FrozenSet[str]] = None,
+) -> List[Violation]:
+    """Run the (selected) rules over pre-parsed modules; sorted, deduped."""
+    ctx = ProjectContext(infos, config)
+    raw: List[Violation] = []
+    for rule in all_rules(select=select, ignore=ignore):
+        for info in ctx.ordered():
+            raw.extend(rule.check(info, ctx))
+        raw.extend(rule.finish(ctx))
+    by_path = {info.path: info for info in infos}
+    kept: List[Violation] = []
+    for violation in set(raw):
+        info = by_path.get(violation.path)
+        if info is not None and info.is_suppressed(violation.line, violation.rule_id):
+            continue
+        kept.append(violation)
+    return sorted(kept, key=Violation.sort_key)
+
+
+def run_paths(
+    paths: Iterable[str],
+    config: AnalysisConfig = DEFAULT_CONFIG,
+    select: Optional[FrozenSet[str]] = None,
+    ignore: Optional[FrozenSet[str]] = None,
+) -> List[Violation]:
+    """Lint files/directories on disk."""
+    infos, errors = load_modules(discover_files(paths))
+    return sorted(
+        errors + run_modules(infos, config, select=select, ignore=ignore),
+        key=Violation.sort_key,
+    )
+
+
+def check_sources(
+    sources: Dict[str, str],
+    config: AnalysisConfig = DEFAULT_CONFIG,
+    select: Optional[FrozenSet[str]] = None,
+) -> List[Violation]:
+    """Lint in-memory snippets: dotted module name -> source text.
+
+    The display path is ``<module>`` so fixture tests can assert on it.
+    """
+    infos = [
+        ModuleInfo.from_source(source, module, f"<{module}>")
+        for module, source in sorted(sources.items())
+    ]
+    return run_modules(infos, config, select=select)
+
+
+def check_source(
+    source: str,
+    module: str = "repro.sim.snippet",
+    config: AnalysisConfig = DEFAULT_CONFIG,
+    select: Optional[FrozenSet[str]] = None,
+) -> List[Violation]:
+    """Lint one in-memory snippet under the given dotted module name."""
+    return check_sources({module: source}, config, select=select)

@@ -1,0 +1,27 @@
+"""Rendering lint results for terminals and CI logs."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.core import Violation
+
+
+def render_text(violations: List[Violation]) -> str:
+    """One ``path:line:col: RULE message`` line per violation."""
+    return "\n".join(violation.render() for violation in violations)
+
+
+def summary_line(violations: List[Violation], files_checked: int) -> str:
+    """``lva-lint: N violation(s) in M file(s) checked`` plus a per-rule tally."""
+    if not violations:
+        return f"lva-lint: clean — 0 violations in {files_checked} files checked"
+    tally: Dict[str, int] = {}
+    for violation in violations:
+        tally[violation.rule_id] = tally.get(violation.rule_id, 0) + 1
+    breakdown = ", ".join(f"{rule}={count}" for rule, count in sorted(tally.items()))
+    plural = "s" if len(violations) != 1 else ""
+    return (
+        f"lva-lint: {len(violations)} violation{plural} in "
+        f"{files_checked} files checked ({breakdown})"
+    )

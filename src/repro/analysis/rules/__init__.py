@@ -1,0 +1,18 @@
+"""Rule modules; importing this package registers every rule.
+
+Adding a rule: create a module here with a ``Rule`` subclass decorated
+with :func:`repro.analysis.core.register`, then import it below. See
+``docs/static-analysis.md`` for the full walk-through.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    cachekey,
+    determinism,
+    hotpath,
+    statscheck,
+    workers,
+)
+
+__all__ = ["cachekey", "determinism", "hotpath", "statscheck", "workers"]

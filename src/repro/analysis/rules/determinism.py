@@ -1,0 +1,287 @@
+"""LVA001 — simulation code must be bit-deterministic.
+
+Inside the simulation packages (:attr:`AnalysisConfig.sim_packages`,
+minus the host-side allowlist) the rule forbids every construct whose
+result depends on the process, the wall clock, or hash randomisation:
+
+* calls through the module-level :mod:`random` API (``random.random()``,
+  ``random.randint()``, ``random.seed()``, ...) — a seeded
+  ``random.Random(seed)`` instance passed in from configuration is the
+  only sanctioned source of randomness;
+* wall-clock reads: ``time.time()``/``perf_counter()``/``monotonic()``
+  and variants, ``datetime.now()``/``utcnow()``/``today()``;
+* entropy taps: ``os.urandom()``, ``uuid.uuid1()``/``uuid4()``,
+  ``random.SystemRandom``, ``secrets.*``;
+* ``id()`` — CPython object addresses vary per process, so ``id()``-keyed
+  state breaks cross-run reproducibility;
+* direct iteration over sets (literals, ``set()``/``frozenset()`` calls,
+  and attributes/variables annotated as sets): iteration order depends on
+  ``PYTHONHASHSEED`` for hashed-by-identity or string elements. Iterate
+  ``sorted(the_set)`` instead — membership tests stay free.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis import astutil
+from repro.analysis.core import ModuleInfo, ProjectContext, Rule, Violation, register
+
+#: Attribute calls on these modules that read the wall clock.
+_CLOCK_CALLS: Dict[str, Tuple[str, ...]] = {
+    "time": (
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "clock_gettime",
+    ),
+}
+
+#: datetime class methods that read the wall clock.
+_DATETIME_CALLS = ("now", "utcnow", "today")
+
+#: Annotation bases treated as set types for the iteration check.
+_SET_ANNOTATIONS = ("set", "Set", "frozenset", "FrozenSet", "MutableSet", "AbstractSet")
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, rule: "DeterminismRule", info: ModuleInfo) -> None:
+        self.rule = rule
+        self.info = info
+        self.violations: List[Violation] = []
+        #: Names bound by ``from random import X`` (X != Random).
+        self.random_from_imports: Set[str] = set()
+        #: Local aliases of the random module (``import random as rnd``).
+        self.random_aliases: Set[str] = set()
+        #: Aliases of time / os / uuid / secrets modules.
+        self.module_aliases: Dict[str, str] = {}
+        #: Names bound to the datetime/date classes by from-imports.
+        self.datetime_names: Set[str] = set()
+        #: Attribute / variable names annotated as sets anywhere in module.
+        self.set_names: Set[str] = set()
+
+    # -- imports -------------------------------------------------------- #
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.random_aliases.add(local)
+            elif alias.name in ("time", "os", "uuid", "secrets", "datetime"):
+                self.module_aliases[local] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name != "Random":
+                    self.random_from_imports.add(alias.asname or alias.name)
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    self.datetime_names.add(alias.asname or alias.name)
+        elif node.module == "time":
+            for alias in node.names:
+                if alias.name in _CLOCK_CALLS["time"]:
+                    local = alias.asname or alias.name
+                    self.module_aliases[local] = f"time.{alias.name}"
+        self.generic_visit(node)
+
+    # -- annotations feeding the set-iteration check --------------------- #
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        base = astutil.annotation_base(node.annotation)
+        if base in _SET_ANNOTATIONS:
+            target_name = astutil.terminal_name(node.target)
+            if target_name is not None:
+                self.set_names.add(target_name)
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------- #
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            self._check_name_call(node, func.id)
+        elif isinstance(func, ast.Attribute):
+            self._check_attribute_call(node, func)
+        self.generic_visit(node)
+
+    def _check_name_call(self, node: ast.Call, name: str) -> None:
+        if name in self.random_from_imports:
+            self.violations.append(
+                self.rule.violation(
+                    self.info,
+                    node,
+                    f"call to module-level random.{name}() — route randomness "
+                    "through a seeded random.Random passed in from config",
+                )
+            )
+        elif name == "id":
+            self.violations.append(
+                self.rule.violation(
+                    self.info,
+                    node,
+                    "id() returns a process-dependent address; id()-keyed "
+                    "state is not reproducible across runs",
+                )
+            )
+        elif name in self.module_aliases and self.module_aliases[name].startswith(
+            "time."
+        ):
+            self.violations.append(
+                self.rule.violation(
+                    self.info,
+                    node,
+                    f"wall-clock read {self.module_aliases[name]}() inside "
+                    "simulation code",
+                )
+            )
+
+    def _check_attribute_call(self, node: ast.Call, func: ast.Attribute) -> None:
+        root = func.value
+        attr = func.attr
+        if isinstance(root, ast.Name):
+            if root.id in self.random_aliases:
+                if attr not in ("Random", "SystemRandom"):
+                    self.violations.append(
+                        self.rule.violation(
+                            self.info,
+                            node,
+                            f"call to module-level random.{attr}() — use a "
+                            "seeded random.Random passed in from config",
+                        )
+                    )
+                elif attr == "SystemRandom":
+                    self.violations.append(
+                        self.rule.violation(
+                            self.info,
+                            node,
+                            "random.SystemRandom draws OS entropy and can "
+                            "never be seeded",
+                        )
+                    )
+                return
+            module = self.module_aliases.get(root.id)
+            if module == "time" and attr in _CLOCK_CALLS["time"]:
+                self.violations.append(
+                    self.rule.violation(
+                        self.info,
+                        node,
+                        f"wall-clock read time.{attr}() inside simulation code",
+                    )
+                )
+            elif module == "os" and attr == "urandom":
+                self.violations.append(
+                    self.rule.violation(
+                        self.info, node, "os.urandom() is unseeded OS entropy"
+                    )
+                )
+            elif module == "secrets":
+                self.violations.append(
+                    self.rule.violation(
+                        self.info, node, f"secrets.{attr}() is unseeded OS entropy"
+                    )
+                )
+            elif module == "uuid" and attr in ("uuid1", "uuid4"):
+                self.violations.append(
+                    self.rule.violation(
+                        self.info,
+                        node,
+                        f"uuid.{attr}() is host/entropy-dependent",
+                    )
+                )
+            elif root.id in self.datetime_names and attr in _DATETIME_CALLS:
+                self.violations.append(
+                    self.rule.violation(
+                        self.info,
+                        node,
+                        f"wall-clock read {root.id}.{attr}() inside simulation code",
+                    )
+                )
+        elif isinstance(root, ast.Attribute) and attr in _DATETIME_CALLS:
+            # datetime.datetime.now() / datetime.date.today()
+            dotted = astutil.dotted_name(func)
+            if dotted is not None and dotted.startswith("datetime."):
+                self.violations.append(
+                    self.rule.violation(
+                        self.info,
+                        node,
+                        f"wall-clock read {dotted}() inside simulation code",
+                    )
+                )
+
+    # -- set iteration --------------------------------------------------- #
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension_node(self, node: ast.AST) -> None:
+        for generator in getattr(node, "generators", []):
+            self._check_iterable(generator.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension_node(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension_node(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension_node(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension_node(node)
+
+    def _check_iterable(self, iterable: ast.expr) -> None:
+        if isinstance(iterable, ast.Set):
+            self._set_iteration(iterable, "a set literal")
+            return
+        if isinstance(iterable, ast.Call):
+            callee = astutil.terminal_name(iterable.func)
+            if callee in ("set", "frozenset"):
+                self._set_iteration(iterable, f"{callee}(...)")
+            return
+        name = astutil.terminal_name(iterable)
+        if name is not None and name in self.set_names:
+            self._set_iteration(iterable, f"'{name}' (annotated as a set)")
+
+    def _set_iteration(self, node: ast.expr, what: str) -> None:
+        self.violations.append(
+            self.rule.violation(
+                self.info,
+                node,
+                f"iteration over {what} is hash-order-dependent; iterate "
+                "sorted(...) for a reproducible order",
+            )
+        )
+
+
+@register
+class DeterminismRule(Rule):
+    """No unseeded randomness, clocks, entropy, id() or set iteration."""
+
+    rule_id = "LVA001"
+    title = "simulation code must be bit-deterministic"
+
+    def check(self, info: ModuleInfo, ctx: ProjectContext) -> Iterator[Violation]:
+        if not ctx.config.is_sim_module(info.module):
+            return iter(())
+        visitor = _DeterminismVisitor(self, info)
+        # Two passes: annotations anywhere in the module inform the
+        # set-iteration check even when the loop appears first.
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.AnnAssign):
+                visitor.visit_AnnAssign(node)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                visitor.visit(node)
+        collected = visitor.set_names
+        visitor = _DeterminismVisitor(self, info)
+        visitor.set_names = collected
+        visitor.visit(info.tree)
+        return iter(visitor.violations)

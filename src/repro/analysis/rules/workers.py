@@ -1,0 +1,129 @@
+"""LVA004 — worker safety across the ``ProcessPoolExecutor`` boundary.
+
+Sweep points execute in pool workers; anything crossing the process
+boundary is pickled, and worker results must not depend on hidden state
+accumulated inside a (reused) worker process. The rule enforces:
+
+* callables handed to ``.submit(...)`` / ``.map(...)`` or installed as a
+  pool ``initializer=`` must be module-level functions — lambdas and
+  functions defined inside another function capture their closure and
+  either fail to pickle or silently rebind;
+* worker entry points (functions matching
+  :attr:`AnalysisConfig.worker_entry_patterns` inside
+  :attr:`AnalysisConfig.worker_modules`) must not declare ``global`` —
+  mutating module state from a worker makes results depend on which
+  points a reused worker happened to run before.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.analysis.core import ModuleInfo, ProjectContext, Rule, Violation, register
+
+
+def _nested_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside another function (closures)."""
+    nested: Set[str] = set()
+
+    def walk(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function:
+                    nested.add(child.name)
+                walk(child, True)
+            else:
+                walk(child, inside_function)
+
+    walk(tree, False)
+    return nested
+
+
+@register
+class WorkerSafetyRule(Rule):
+    """Only module-level functions cross the process-pool boundary."""
+
+    rule_id = "LVA004"
+    title = "pool workers get picklable functions and no module-state mutation"
+
+    def check(self, info: ModuleInfo, ctx: ProjectContext) -> Iterator[Violation]:
+        violations: List[Violation] = []
+        nested = _nested_function_names(info.tree)
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Call):
+                self._check_call(info, node, nested, violations)
+        if ctx.config.is_worker_module(info.module):
+            self._check_worker_entries(info, ctx, violations)
+        return iter(violations)
+
+    def _check_call(
+        self,
+        info: ModuleInfo,
+        node: ast.Call,
+        nested: Set[str],
+        out: List[Violation],
+    ) -> None:
+        candidates: List[ast.expr] = []
+        context = ""
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "submit",
+            "map",
+        ):
+            if node.args:
+                candidates.append(node.args[0])
+            context = f".{node.func.attr}()"
+        else:
+            callee = node.func
+            name = (
+                callee.attr
+                if isinstance(callee, ast.Attribute)
+                else callee.id
+                if isinstance(callee, ast.Name)
+                else None
+            )
+            if name == "ProcessPoolExecutor":
+                for keyword in node.keywords:
+                    if keyword.arg == "initializer":
+                        candidates.append(keyword.value)
+                context = "ProcessPoolExecutor(initializer=...)"
+        for candidate in candidates:
+            if isinstance(candidate, ast.Lambda):
+                out.append(
+                    self.violation(
+                        info,
+                        candidate,
+                        f"lambda passed to {context} cannot cross the process "
+                        "boundary (unpicklable); use a module-level function",
+                    )
+                )
+            elif isinstance(candidate, ast.Name) and candidate.id in nested:
+                out.append(
+                    self.violation(
+                        info,
+                        candidate,
+                        f"locally-defined function '{candidate.id}' passed to "
+                        f"{context} captures its closure and does not pickle; "
+                        "move it to module level",
+                    )
+                )
+
+    def _check_worker_entries(
+        self, info: ModuleInfo, ctx: ProjectContext, out: List[Violation]
+    ) -> None:
+        for node in info.tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if not ctx.config.is_worker_entry(node.name):
+                continue
+            for child in ast.walk(node):
+                if isinstance(child, ast.Global):
+                    out.append(
+                        self.violation(
+                            info,
+                            child,
+                            f"worker entry point '{node.name}' mutates "
+                            "module-level state via 'global'; results would "
+                            "depend on which points a reused worker ran before",
+                        )
+                    )

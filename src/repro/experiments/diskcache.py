@@ -34,7 +34,7 @@ import tempfile
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Optional
 
 #: Bump when PreciseReference/TechniqueResult fields or the simulation
 #: semantics change: every existing on-disk entry becomes unreachable
@@ -120,7 +120,7 @@ class DiskCacheStats:
     misses: int = 0
     stores: int = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
 
 
@@ -156,7 +156,7 @@ class DiskCache:
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
-                record = pickle.load(handle)
+                record: object = pickle.load(handle)
         except FileNotFoundError:
             self.stats.misses += 1
             return None

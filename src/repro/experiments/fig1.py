@@ -12,7 +12,7 @@ two tracked frames as PGM images exactly like
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.experiments.common import ExperimentResult, run_precise_reference
 from repro.experiments.sweep import precise_point

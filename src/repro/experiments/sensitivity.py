@@ -9,7 +9,7 @@ on. Complements the per-figure sweeps by putting all knobs on one axis.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.core.config import ApproximatorConfig
 from repro.experiments.common import ExperimentResult, run_technique

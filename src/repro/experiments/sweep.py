@@ -232,7 +232,9 @@ def _run_technique_worker(point: SweepPoint, attempt: int = 0):
     return point, result, _counter_delta(before, common.COMPUTE_COUNTERS.as_dict())
 
 
-def _precise_cache_key(point: SweepPoint) -> tuple:
+# Baseline-only identity: precise runs are independent of the technique
+# fields (mode/config/prefetch_degree) and always execute clean (faults).
+def _precise_cache_key(point: SweepPoint) -> tuple:  # lva: ignore[LVA002]
     return (point.workload, point.seed, point.small, point.params)
 
 

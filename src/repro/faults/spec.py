@@ -24,7 +24,7 @@ Engine clauses select which sweep points they apply to via parameters:
 from __future__ import annotations
 
 import dataclasses
-from typing import Mapping, Optional, Tuple
+from typing import ClassVar, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -81,7 +81,7 @@ class FaultClause:
 
     # -- engine-clause point selection --------------------------------- #
 
-    _SELECTORS = ("workload", "mode", "seed", "small", "kind")
+    _SELECTORS: ClassVar[Tuple[str, ...]] = ("workload", "mode", "seed", "small", "kind")
 
     def matches(
         self,
@@ -124,7 +124,7 @@ class FaultClause:
 
 def parse_spec(spec: str) -> Tuple[FaultClause, ...]:
     """Parse a fault spec string into clauses; raises on unknown kinds."""
-    clauses = []
+    clauses: List[FaultClause] = []
     for chunk in spec.split(";"):
         chunk = chunk.strip()
         if not chunk:
@@ -136,7 +136,7 @@ def parse_spec(spec: str) -> Tuple[FaultClause, ...]:
                 f"unknown fault kind {kind!r}; known: "
                 f"{', '.join(sorted(ENGINE_KINDS | MEMORY_KINDS))}"
             )
-        params = {}
+        params: Dict[str, object] = {}
         for pair in rest.split(","):
             pair = pair.strip()
             if not pair:

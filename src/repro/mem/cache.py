@@ -16,7 +16,7 @@ from repro.mem.block import CacheBlock
 from repro.mem.replacement import LRUPolicy, ReplacementPolicy
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheConfig:
     """Geometry and latency of one cache level.
 

@@ -24,7 +24,7 @@ class CoherenceAction(enum.Enum):
     FETCH_FROM_OWNER = "forward"
 
 
-@dataclass
+@dataclass(slots=True)
 class CoherenceResponse:
     """Result of a directory request."""
 
@@ -35,7 +35,7 @@ class CoherenceResponse:
     new_state: CoherenceState
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryEntry:
     """Sharers/owner bookkeeping for one block."""
 
@@ -43,7 +43,7 @@ class DirectoryEntry:
     owner: int = -1  # core holding the block Modified, or -1
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryStats:
     """Protocol event counters."""
 

@@ -20,7 +20,7 @@ from typing import List, Tuple
 from repro.errors import ConfigurationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DRAMConfig:
     """DDR3-1600-ish timing, expressed in 2 GHz core cycles.
 
@@ -57,7 +57,7 @@ class DRAMConfig:
                 raise ConfigurationError(f"{name} must be >= 0")
 
 
-@dataclass
+@dataclass(slots=True)
 class DRAMStats:
     """Row-buffer behaviour counters."""
 

@@ -15,7 +15,7 @@ from repro.mem.cache import CacheConfig, SetAssociativeCache
 from repro.mem.memory import MainMemory
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyAccess:
     """Outcome of a load walking the hierarchy."""
 

@@ -8,7 +8,7 @@ from typing import Optional, Tuple
 from repro.errors import ConfigurationError
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryStats:
     """Main-memory access counters (reads = block fetches, writes = writebacks)."""
 

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 from repro.errors import ConfigurationError, SimulationError
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
     """One outstanding block fetch."""
 
@@ -24,7 +24,7 @@ class MSHREntry:
     waiters: List[object] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHRStats:
     """MSHR event counters."""
 

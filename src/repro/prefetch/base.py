@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from typing import List
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetcherStats:
     """Prefetch issue counters (usefulness is measured at the cache)."""
 

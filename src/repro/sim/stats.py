@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Set
 
 
-@dataclass
+@dataclass(slots=True)
 class SimulationStats:
     """Counters accumulated over one workload run."""
 

@@ -16,7 +16,7 @@ import numpy as np
 Number = Union[int, float]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LoadEvent:
     """One dynamic load in a captured trace.
 

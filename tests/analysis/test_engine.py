@@ -1,0 +1,141 @@
+"""Engine-level tests: module naming, suppressions, CLI exit codes."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import check_source, rule_ids, run_paths
+from repro.analysis.cli import main
+from repro.analysis.engine import SYNTAX_RULE_ID, discover_files, module_name_for
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: A snippet that violates LVA002 in any module (the rule has no
+#: package scope gate), so tmp_path files trigger it.
+BAD_KEY = textwrap.dedent(
+    """\
+    from dataclasses import dataclass
+
+
+    @dataclass(frozen=True)
+    class Point:
+        workload: str
+        seed: int
+
+
+    def point_disk_key(point: Point) -> tuple:
+        return (point.workload,)
+    """
+)
+
+CLEAN = "VALUE = 1\n"
+
+
+class TestModuleNaming:
+    def test_walks_up_through_packages(self):
+        path = REPO_ROOT / "src" / "repro" / "mem" / "cache.py"
+        assert module_name_for(path) == "repro.mem.cache"
+
+    def test_package_init_names_the_package(self):
+        path = REPO_ROOT / "src" / "repro" / "analysis" / "__init__.py"
+        assert module_name_for(path) == "repro.analysis"
+
+    def test_bare_file_is_its_stem(self, tmp_path):
+        target = tmp_path / "scratch.py"
+        target.write_text(CLEAN)
+        assert module_name_for(target) == "scratch"
+
+
+class TestDiscovery:
+    def test_directories_expand_recursively_and_sorted(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text(CLEAN)
+        (tmp_path / "a.py").write_text(CLEAN)
+        (tmp_path / "notes.txt").write_text("not python")
+        files = discover_files([str(tmp_path)])
+        names = [path.name for path, _display in files]
+        assert names == ["a.py", "b.py"]
+
+    def test_explicit_file_and_directory_dedupe(self, tmp_path):
+        target = tmp_path / "a.py"
+        target.write_text(CLEAN)
+        files = discover_files([str(tmp_path), str(target)])
+        assert len(files) == 1
+
+
+class TestSyntaxErrors:
+    def test_unparseable_file_reports_lva000(self, tmp_path):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n")
+        violations = run_paths([str(target)])
+        assert [v.rule_id for v in violations] == [SYNTAX_RULE_ID]
+        assert violations[0].line == 1
+
+    def test_syntax_error_exits_nonzero(self, tmp_path, capsys):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n")
+        assert main([str(target)]) == 1
+        assert "LVA000" in capsys.readouterr().out
+
+
+class TestCLI:
+    def test_clean_file_exits_zero_with_summary(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text(CLEAN)
+        assert main([str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "1 files checked" in out
+
+    def test_violations_exit_one_and_render_location(self, tmp_path, capsys):
+        target = tmp_path / "keys.py"
+        target.write_text(BAD_KEY)
+        assert main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "LVA002" in out
+        assert "keys.py:10:" in out
+
+    def test_no_files_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "empty")]) == 2
+        assert "no Python files" in capsys.readouterr().err
+
+    def test_select_other_rule_skips_violation(self, tmp_path):
+        target = tmp_path / "keys.py"
+        target.write_text(BAD_KEY)
+        assert main([str(target), "--select", "LVA003", "--no-summary"]) == 0
+
+    def test_ignore_silences_violation(self, tmp_path):
+        target = tmp_path / "keys.py"
+        target.write_text(BAD_KEY)
+        assert main([str(target), "--ignore", "LVA002", "--no-summary"]) == 0
+
+    def test_rule_ids_are_case_insensitive(self, tmp_path):
+        target = tmp_path / "keys.py"
+        target.write_text(BAD_KEY)
+        assert main([str(target), "--ignore", "lva002", "--no-summary"]) == 0
+
+    def test_list_rules_prints_all_five(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("LVA001", "LVA002", "LVA003", "LVA004", "LVA005"):
+            assert rule_id in out
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert list(rule_ids()) == [
+            "LVA001",
+            "LVA002",
+            "LVA003",
+            "LVA004",
+            "LVA005",
+        ]
+
+    def test_violation_render_format(self):
+        (violation,) = check_source(
+            "import random\nrandom.seed(1)\n", module="repro.sim.snippet"
+        )
+        assert violation.render() == (
+            "<repro.sim.snippet>:2:1: LVA001 " + violation.message
+        )

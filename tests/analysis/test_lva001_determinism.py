@@ -1,0 +1,252 @@
+"""LVA001 fixture tests: determinism violations in simulation code."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import check_source
+
+
+def _lint(source: str, module: str = "repro.sim.snippet"):
+    return check_source(textwrap.dedent(source), module=module)
+
+
+def _hits(source: str, module: str = "repro.sim.snippet"):
+    return [
+        (v.line, v.rule_id) for v in _lint(source, module) if v.rule_id == "LVA001"
+    ]
+
+
+class TestUnseededRandom:
+    def test_module_level_random_call_fires(self):
+        hits = _hits(
+            """\
+            import random
+
+            def roll():
+                return random.random()
+            """
+        )
+        assert hits == [(4, "LVA001")]
+
+    def test_random_seed_fires(self):
+        assert _hits(
+            """\
+            import random
+            random.seed(7)
+            """
+        ) == [(2, "LVA001")]
+
+    def test_from_import_fires(self):
+        assert _hits(
+            """\
+            from random import randint
+
+            def roll():
+                return randint(1, 6)
+            """
+        ) == [(4, "LVA001")]
+
+    def test_seeded_random_instance_is_clean(self):
+        assert (
+            _hits(
+                """\
+                import random
+
+                def make_rng(seed):
+                    return random.Random(seed)
+                """
+            )
+            == []
+        )
+
+    def test_system_random_fires(self):
+        assert _hits(
+            """\
+            import random
+            RNG = random.SystemRandom()
+            """
+        ) == [(2, "LVA001")]
+
+
+class TestClocksAndEntropy:
+    def test_time_time_fires(self):
+        assert _hits(
+            """\
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        ) == [(4, "LVA001")]
+
+    def test_perf_counter_from_import_fires(self):
+        assert _hits(
+            """\
+            from time import perf_counter
+
+            def stamp():
+                return perf_counter()
+            """
+        ) == [(4, "LVA001")]
+
+    def test_datetime_now_fires(self):
+        assert _hits(
+            """\
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """
+        ) == [(4, "LVA001")]
+
+    def test_dotted_datetime_now_fires(self):
+        assert _hits(
+            """\
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """
+        ) == [(4, "LVA001")]
+
+    def test_os_urandom_and_uuid4_fire(self):
+        assert _hits(
+            """\
+            import os
+            import uuid
+
+            def entropy():
+                return os.urandom(8), uuid.uuid4()
+            """
+        ) == [(5, "LVA001"), (5, "LVA001")]
+
+    def test_id_call_fires(self):
+        assert _hits(
+            """\
+            def key_of(obj):
+                return id(obj)
+            """
+        ) == [(2, "LVA001")]
+
+
+class TestSetIteration:
+    def test_set_literal_iteration_fires(self):
+        assert _hits(
+            """\
+            def walk():
+                for x in {1, 2, 3}:
+                    yield x
+            """
+        ) == [(2, "LVA001")]
+
+    def test_set_call_in_comprehension_fires(self):
+        assert _hits(
+            """\
+            def walk(items):
+                return [x for x in set(items)]
+            """
+        ) == [(2, "LVA001")]
+
+    def test_sorted_set_is_clean(self):
+        assert (
+            _hits(
+                """\
+                def walk(items):
+                    return [x for x in sorted(set(items))]
+                """
+            )
+            == []
+        )
+
+    def test_annotated_set_attribute_iteration_fires(self):
+        assert _hits(
+            """\
+            from typing import Set
+
+            class Directory:
+                sharers: Set[int]
+
+                def broadcast(self):
+                    for core in self.sharers:
+                        yield core
+            """
+        ) == [(7, "LVA001")]
+
+    def test_membership_test_is_clean(self):
+        assert (
+            _hits(
+                """\
+                from typing import Set
+
+                class Directory:
+                    sharers: Set[int]
+
+                    def holds(self, core):
+                        return core in self.sharers
+                """
+            )
+            == []
+        )
+
+
+class TestScopeAndSuppression:
+    BAD = """\
+    import random
+
+    def roll():
+        return random.random()
+    """
+
+    def test_every_sim_package_is_in_scope(self):
+        for module in (
+            "repro.sim.x",
+            "repro.mem.x",
+            "repro.noc.x",
+            "repro.fullsystem.x",
+            "repro.prefetch.x",
+            "repro.workloads.x",
+            "repro.faults.memory",
+        ):
+            assert _hits(self.BAD, module=module), module
+
+    def test_host_side_allowlist_is_exempt(self):
+        assert _hits(self.BAD, module="repro.experiments.sweep") == []
+        assert _hits(self.BAD, module="repro.experiments.runner") == []
+        assert _hits(self.BAD, module="repro.experiments.fig4") == []
+
+    def test_line_suppression_silences_named_rule(self):
+        assert (
+            _hits(
+                """\
+                import random
+
+                def roll():
+                    return random.random()  # lva: ignore[LVA001]
+                """
+            )
+            == []
+        )
+
+    def test_suppression_for_other_rule_does_not_silence(self):
+        assert _hits(
+            """\
+            import random
+
+            def roll():
+                return random.random()  # lva: ignore[LVA003]
+            """
+        ) == [(4, "LVA001")]
+
+    def test_blanket_suppression_silences(self):
+        assert (
+            _hits(
+                """\
+                import random
+
+                def roll():
+                    return random.random()  # lva: ignore
+                """
+            )
+            == []
+        )

@@ -1,0 +1,156 @@
+"""LVA004 fixture tests: worker safety across the process-pool boundary."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import check_source
+
+
+def _hits(source: str, module: str = "repro.experiments.sweep"):
+    violations = check_source(textwrap.dedent(source), module=module)
+    return [(v.line, v.rule_id) for v in violations if v.rule_id == "LVA004"]
+
+
+class TestSubmitTargets:
+    def test_lambda_to_submit_fires(self):
+        assert _hits(
+            """\
+            def run(pool, points):
+                return [pool.submit(lambda p: p.run(), pt) for pt in points]
+            """
+        ) == [(2, "LVA004")]
+
+    def test_nested_function_to_submit_fires(self):
+        assert _hits(
+            """\
+            def run(pool, points):
+                def work(point):
+                    return point.run()
+                return [pool.submit(work, pt) for pt in points]
+            """
+        ) == [(4, "LVA004")]
+
+    def test_module_level_function_to_submit_is_clean(self):
+        assert (
+            _hits(
+                """\
+                def work(point):
+                    return point.run()
+
+
+                def run(pool, points):
+                    return [pool.submit(work, pt) for pt in points]
+                """
+            )
+            == []
+        )
+
+    def test_lambda_to_map_fires(self):
+        assert _hits(
+            """\
+            def run(pool, points):
+                return list(pool.map(lambda p: p.run(), points))
+            """
+        ) == [(2, "LVA004")]
+
+    def test_lambda_initializer_fires(self):
+        assert _hits(
+            """\
+            from concurrent.futures import ProcessPoolExecutor
+
+
+            def run():
+                return ProcessPoolExecutor(initializer=lambda: None)
+            """
+        ) == [(5, "LVA004")]
+
+    def test_module_level_initializer_is_clean(self):
+        assert (
+            _hits(
+                """\
+                from concurrent.futures import ProcessPoolExecutor
+
+
+                def _init_worker():
+                    pass
+
+
+                def run():
+                    return ProcessPoolExecutor(initializer=_init_worker)
+                """
+            )
+            == []
+        )
+
+    def test_submit_checked_in_every_module(self):
+        # The picklability half of the rule applies everywhere, not just
+        # in the configured worker modules.
+        assert _hits(
+            """\
+            def run(pool, points):
+                return [pool.submit(lambda p: p.run(), pt) for pt in points]
+            """,
+            module="repro.experiments.fig7",
+        ) == [(2, "LVA004")]
+
+
+class TestWorkerEntries:
+    def test_global_in_worker_entry_fires(self):
+        assert _hits(
+            """\
+            _CACHE = {}
+
+
+            def _run_point_worker(point):
+                global _CACHE
+                _CACHE = {}
+                return point
+            """
+        ) == [(5, "LVA004")]
+
+    def test_global_outside_worker_module_is_exempt(self):
+        assert (
+            _hits(
+                """\
+                _CACHE = {}
+
+
+                def _run_point_worker(point):
+                    global _CACHE
+                    _CACHE = {}
+                    return point
+                """,
+                module="repro.experiments.runner",
+            )
+            == []
+        )
+
+    def test_non_entry_function_may_use_global(self):
+        assert (
+            _hits(
+                """\
+                _CACHE = {}
+
+
+                def reset_cache():
+                    global _CACHE
+                    _CACHE = {}
+                """
+            )
+            == []
+        )
+
+    def test_read_only_worker_entry_is_clean(self):
+        assert (
+            _hits(
+                """\
+                _TABLE = {"a": 1}
+
+
+                def _run_point_worker(point):
+                    return _TABLE.get(point, 0)
+                """
+            )
+            == []
+        )

@@ -1,0 +1,212 @@
+"""LVA005 fixture tests: counters written <-> counters declared."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import check_source, check_sources
+
+
+def _hits(source: str, module: str = "repro.sim.snippet"):
+    violations = check_source(textwrap.dedent(source), module=module)
+    return [(v.line, v.rule_id) for v in violations if v.rule_id == "LVA005"]
+
+
+class TestUndeclaredWrites:
+    def test_write_to_undeclared_counter_fires(self):
+        # 'missess' (typo) is not a FooStats field; 'hits' keeps the
+        # declared counter satisfied so only the typo fires.
+        hits = _hits(
+            """\
+            from dataclasses import dataclass
+
+
+            @dataclass(slots=True)
+            class FooStats:
+                hits: int = 0
+
+
+            class Foo:
+                def __init__(self):
+                    self.stats = FooStats()
+
+                def touch(self):
+                    self.stats.hits += 1
+                    self.stats.missess += 1
+            """
+        )
+        assert hits == [(15, "LVA005")]
+
+    def test_message_names_class_and_counter(self):
+        violations = check_source(
+            textwrap.dedent(
+                """\
+                from dataclasses import dataclass
+
+
+                @dataclass(slots=True)
+                class FooStats:
+                    hits: int = 0
+
+
+                class Foo:
+                    def __init__(self):
+                        self.stats = FooStats()
+
+                    def touch(self):
+                        self.stats.hits += 1
+                        self.stats.missess += 1
+                """
+            ),
+            module="repro.sim.snippet",
+        )
+        (violation,) = [v for v in violations if v.rule_id == "LVA005"]
+        assert "FooStats" in violation.message
+        assert "'missess'" in violation.message
+
+    def test_alias_write_to_unknown_counter_fires(self):
+        # Hot paths hoist `stats = self.stats`; alias writes are checked
+        # against the union of all known Stats fields.
+        hits = _hits(
+            """\
+            from dataclasses import dataclass
+
+
+            @dataclass(slots=True)
+            class FooStats:
+                hits: int = 0
+
+
+            class Foo:
+                def __init__(self):
+                    self.stats = FooStats()
+
+                def touch(self):
+                    stats = self.stats
+                    stats.hits += 1
+                    stats.bogus += 1
+            """
+        )
+        assert hits == [(16, "LVA005")]
+
+    def test_declared_writes_are_clean(self):
+        assert (
+            _hits(
+                """\
+                from dataclasses import dataclass
+
+
+                @dataclass(slots=True)
+                class FooStats:
+                    hits: int = 0
+                    samples: list = None
+
+                class Foo:
+                    def __init__(self):
+                        self.stats = FooStats()
+
+                    def touch(self):
+                        self.stats.hits += 1
+                        self.stats.samples.append(1)
+                """
+            )
+            == []
+        )
+
+
+class TestNeverWrittenCounters:
+    def test_declared_but_never_written_fires_at_declaration(self):
+        hits = _hits(
+            """\
+            from dataclasses import dataclass
+
+
+            @dataclass(slots=True)
+            class FooStats:
+                hits: int = 0
+                misses: int = 0
+
+
+            class Foo:
+                def __init__(self):
+                    self.stats = FooStats()
+
+                def touch(self):
+                    self.stats.hits += 1
+            """
+        )
+        assert hits == [(7, "LVA005")]
+
+    def test_write_in_another_module_satisfies_declaration(self):
+        # Declarations and write sites are cross-referenced project-wide,
+        # mirroring stats.py vs. tracesim.py/hierarchy.py in the repo.
+        violations = check_sources(
+            {
+                "repro.sim.stats_snippet": textwrap.dedent(
+                    """\
+                    from dataclasses import dataclass
+
+
+                    @dataclass(slots=True)
+                    class BarStats:
+                        loads: int = 0
+                    """
+                ),
+                "repro.sim.engine_snippet": textwrap.dedent(
+                    """\
+                    from repro.sim.stats_snippet import BarStats
+
+
+                    class Engine:
+                        def __init__(self):
+                            self.stats = BarStats()
+
+                        def step(self):
+                            self.stats.loads += 1
+                    """
+                ),
+            }
+        )
+        assert [v for v in violations if v.rule_id == "LVA005"] == []
+
+    def test_non_counter_fields_need_no_writes(self):
+        # Only int/float fields demand a write site; str/list metadata
+        # fields do not.
+        assert (
+            _hits(
+                """\
+                from dataclasses import dataclass
+
+
+                @dataclass(slots=True)
+                class FooStats:
+                    hits: int = 0
+                    label: str = ""
+
+
+                class Foo:
+                    def __init__(self):
+                        self.stats = FooStats()
+
+                    def touch(self):
+                        self.stats.hits += 1
+                """
+            )
+            == []
+        )
+
+    def test_outside_stats_packages_is_exempt(self):
+        assert (
+            _hits(
+                """\
+                from dataclasses import dataclass
+
+
+                @dataclass(slots=True)
+                class ReportStats:
+                    rows: int = 0
+                """,
+                module="repro.experiments.snippet",
+            )
+            == []
+        )

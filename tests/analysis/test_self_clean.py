@@ -1,0 +1,28 @@
+"""The repo-wide gate: ``lva-lint src/`` must be clean at HEAD.
+
+This is the pytest-collectable form of the CI lint job — any new
+violation in the source tree fails the suite with the full lint report.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import render_text, run_paths
+from repro.analysis.cli import main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_source_tree_exists():
+    assert (REPO_SRC / "repro").is_dir()
+
+
+def test_lva_lint_src_is_clean():
+    violations = run_paths([str(REPO_SRC)])
+    assert violations == [], "\n" + render_text(violations)
+
+
+def test_cli_on_src_exits_zero(capsys):
+    assert main([str(REPO_SRC)]) == 0
+    assert "clean" in capsys.readouterr().out

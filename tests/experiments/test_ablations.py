@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments import ablations, common
-from repro.workloads.registry import workload_names
 
 
 @pytest.fixture(autouse=True, scope="module")

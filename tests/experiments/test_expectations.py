@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments import common, table2
+from repro.experiments import table2
 from repro.experiments.common import ExperimentResult, averaged
 from repro.experiments.expectations import EXPECTATIONS, verify
 

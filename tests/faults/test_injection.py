@@ -8,7 +8,7 @@ import pytest
 
 from repro import faults
 from repro.errors import FaultInjectionError, WorkerCrashError
-from repro.experiments import common, fig13
+from repro.experiments import fig13
 from repro.experiments.sweep import SweepEngine
 
 #: Selects exactly one of the five fig13 points (drop-11).

@@ -1,6 +1,5 @@
 """Full-system fetch pacing: MSHR limits and training-fetch deprioritization."""
 
-import pytest
 
 from repro.core.config import ApproximatorConfig
 from repro.fullsystem import FullSystemConfig, FullSystemSimulator

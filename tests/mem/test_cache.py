@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.mem.cache import CacheConfig, SetAssociativeCache
-from repro.mem.replacement import FIFOPolicy, LRUPolicy
+from repro.mem.replacement import FIFOPolicy
 
 
 def small_cache(assoc=2, sets=4, block=64):

@@ -45,7 +45,7 @@ class TestRowBuffer:
 
     def test_busy_bank_serialises(self):
         dram = model()
-        first = dram.access(0x0, now=0)
+        dram.access(0x0, now=0)
         second = dram.access(0x8 * 64, now=0)  # same bank, immediately
         # The second access waits for the first's service window.
         assert second > dram.config.t_cas + dram.config.t_burst + dram.config.overhead - 1
@@ -76,7 +76,6 @@ class TestRowBuffer:
         dram = model()
         cfg = dram.config
         now = 0.0
-        worst_service = cfg.t_rp + cfg.t_rcd + cfg.t_cas + cfg.t_burst
         for addr in addrs:
             latency = dram.access(addr, now)
             assert latency >= cfg.t_cas + cfg.t_burst + cfg.overhead

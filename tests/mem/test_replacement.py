@@ -1,8 +1,7 @@
 """Direct tests for replacement policies and cache blocks."""
 
 import numpy as np
-import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.mem.block import CacheBlock, CoherenceState

@@ -70,8 +70,8 @@ class TestContention:
         next may begin — both still arrive, in order."""
         config = DetailedNocConfig(vcs=1, buffer_depth=2)
         net = DetailedMeshNetwork(config)
-        a = net.inject(0, 3, size_flits=6)
-        b = net.inject(1, 3, size_flits=6)
+        net.inject(0, 3, size_flits=6)
+        net.inject(1, 3, size_flits=6)
         stats = net.run()
         assert stats.delivered == 2
 

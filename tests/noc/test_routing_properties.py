@@ -1,6 +1,6 @@
 """Property tests on mesh routing invariants."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.noc.topology import MeshTopology

@@ -1,6 +1,5 @@
 """Plugging custom prefetchers into the phase-1 simulator."""
 
-import pytest
 
 from repro.mem.cache import CacheConfig
 from repro.prefetch.base import Prefetcher

@@ -1,7 +1,5 @@
 """Tests for trace save/load round-tripping."""
 
-import numpy as np
-import pytest
 
 from repro.sim.trace import LoadEvent, Trace
 

@@ -1,6 +1,5 @@
 """Behavioural tests for the phase-1 trace simulator."""
 
-import pytest
 
 from repro.core.config import ApproximatorConfig
 from repro.mem.cache import CacheConfig

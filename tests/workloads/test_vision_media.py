@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro.sim.frontend import PreciseMemory
 from repro.workloads.bodytrack import Bodytrack

@@ -6,7 +6,6 @@ full-scale behaviour is exercised by the benchmark harness.
 
 import pytest
 
-from repro.core.config import ApproximatorConfig
 from repro.sim.frontend import PreciseMemory
 from repro.sim.tracesim import Mode, TraceSimulator
 from repro.workloads.base import PCTable
