@@ -9,15 +9,14 @@ pointer-like values, boolean flags (control flow), and cold sites.
 Run:  python examples/annotation_audit.py
 """
 
-from repro import audit_workload, get_workload
+from repro.api import audit
 from repro.annotations import AuditingMemory
-from repro.sim.frontend import MemoryFrontend
 
 
 def audit_paper_benchmarks() -> None:
     print("== auditing the paper's benchmark annotations ==\n")
     for name in ("blackscholes", "canneal", "ferret"):
-        report = audit_workload(get_workload(name, small=True))
+        report = audit(name, small=True)
         print(f"{name}:")
         print("  " + report.format().replace("\n", "\n  "))
         print()

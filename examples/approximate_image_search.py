@@ -3,51 +3,46 @@
 
 The paper's intro motivates LVA with recognition/mining server workloads.
 This example runs the ferret workload (feature-vector similarity search)
-through the phase-1 simulator under several approximator configurations and
-reports the quality/performance trade-off a service operator would care
-about: result-set fidelity vs. effective MPKI and fetch traffic.
+through the :mod:`repro.api` facade under several approximator
+configurations and reports the quality/performance trade-off a service
+operator would care about: result-set fidelity vs. effective MPKI and
+fetch traffic.
 
 Run:  python examples/approximate_image_search.py
 """
 
-from repro import ApproximatorConfig, INFINITE_WINDOW, Mode, TraceSimulator, get_workload
-from repro.sim.frontend import PreciseMemory
+from repro import INFINITE_WINDOW
+from repro.api import Simulation, lva
 
 SEED = 3
 
 
-def evaluate(label: str, config: ApproximatorConfig) -> None:
-    workload = get_workload("ferret", {"queries": 8})
-    # Reference search results on precise memory.
-    reference = workload.execute(PreciseMemory(), SEED)
-
-    sim = TraceSimulator(Mode.LVA, approximator_config=config)
-    results = get_workload("ferret", {"queries": 8}).execute(sim, SEED)
-    stats = sim.finish()
-    error = workload.output_error(reference, results)
-
+def evaluate(label: str, config) -> None:
+    result = (
+        Simulation.builder()
+        .workload("ferret", params={"queries": 8})
+        .approximator(config)
+        .seed(SEED)
+        .compare_precise()
+        .run()
+    )
     print(
-        f"{label:28s} effective MPKI={stats.mpki:6.3f} "
-        f"fetches/KI={stats.fetches_per_kilo_instruction:6.3f} "
-        f"coverage={stats.coverage:5.1%} "
-        f"result-set error={error:6.1%}"
+        f"{label:28s} effective MPKI={result.mpki:6.3f} "
+        f"fetches/KI={result.fetches_per_ki:6.3f} "
+        f"coverage={result.coverage:5.1%} "
+        f"result-set error={result.output_error:6.1%}"
     )
 
 
 def main() -> None:
     print("ferret: top-K image search with approximated feature vectors\n")
-    evaluate("precise-ish (0% window)", ApproximatorConfig(confidence_window=0.0))
-    evaluate("baseline (10% window)", ApproximatorConfig())
-    evaluate("relaxed (30% window)", ApproximatorConfig(confidence_window=0.30))
-    evaluate(
-        "always approximate",
-        ApproximatorConfig(confidence_window=INFINITE_WINDOW),
-    )
+    evaluate("precise-ish (0% window)", lva(window=0.0))
+    evaluate("baseline (10% window)", lva())
+    evaluate("relaxed (30% window)", lva(window=0.30))
+    evaluate("always approximate", lva(window=INFINITE_WINDOW))
     evaluate(
         "always + degree 8 (low energy)",
-        ApproximatorConfig(
-            confidence_window=INFINITE_WINDOW, approximation_degree=8
-        ),
+        lva(window=INFINITE_WINDOW, degree=8),
     )
     print(
         "\nferret is the paper's least approximable benchmark: feature"

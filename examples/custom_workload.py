@@ -6,8 +6,9 @@ front-end, issue annotated loads with ``load_approx`` (and precise loads
 with ``load``), and define the output-error metric your domain cares
 about. This example implements a tiny iterative stencil smoother (a
 physics-flavoured kernel, per the paper's error-tolerant application
-classes) and evaluates it under LVA — including the Section IV annotation
-guidelines (indices stay precise, only field values are annotated).
+classes) and evaluates it through the :mod:`repro.api` facade — including
+the Section IV annotation guidelines (indices stay precise, only field
+values are annotated).
 
 Run:  python examples/custom_workload.py
 """
@@ -16,8 +17,8 @@ from typing import List
 
 import numpy as np
 
-from repro import ApproximatorConfig, Mode, TraceSimulator, get_workload  # noqa: F401
-from repro.sim.frontend import MemoryFrontend, PreciseMemory
+from repro.api import Simulation, lva
+from repro.sim.frontend import MemoryFrontend
 from repro.workloads.base import Workload
 
 
@@ -68,23 +69,25 @@ class StencilSmoother(Workload):
 
 
 def main() -> None:
-    workload = StencilSmoother()
-    reference = workload.execute(PreciseMemory(), seed=0)
-
     print("1-D stencil smoother with approximated neighbour loads\n")
     for label, config in [
-        ("baseline (10% window)", ApproximatorConfig()),
-        ("degree 8", ApproximatorConfig(approximation_degree=8)),
-        ("GHB 2 + mantissa drop 12", ApproximatorConfig(ghb_size=2, mantissa_drop_bits=12)),
+        ("baseline (10% window)", lva()),
+        ("degree 8", lva(degree=8)),
+        ("GHB 2 + mantissa drop 12", lva(ghb=2, mantissa_drop_bits=12)),
     ]:
-        sim = TraceSimulator(Mode.LVA, approximator_config=config)
-        output = StencilSmoother().execute(sim, seed=0)
-        stats = sim.finish()
-        error = workload.output_error(reference, output)
-        fetch_ratio = stats.fetches / max(stats.raw_misses, 1)
+        result = (
+            Simulation.builder()
+            .workload(StencilSmoother())
+            .approximator(config)
+            .compare_precise()
+            .run()
+        )
+        fetch_ratio = result.stats["fetches"] / max(result.stats["raw_misses"], 1)
         print(
-            f"{label:28s} MPKI={stats.mpki:6.3f} coverage={stats.coverage:5.1%} "
-            f"fetches/miss={fetch_ratio:5.1%} field error={error:7.3%}"
+            f"{label:28s} MPKI={result.mpki:6.3f} "
+            f"coverage={result.coverage:5.1%} "
+            f"fetches/miss={fetch_ratio:5.1%} "
+            f"field error={result.output_error:7.3%}"
         )
 
     print(

@@ -3,10 +3,10 @@
 
 The paper opens with two bodytrack output frames — precise execution and
 execution under load value approximation — that are nearly indiscernible.
-This example runs the tracker both ways, overlays the estimated body
-positions on the final camera frame, and writes the two images as portable
-graymaps (PGM, viewable with any image tool) plus the pair-wise output
-error.
+This example runs the tracker both ways through the :mod:`repro.api`
+facade, overlays the estimated body positions on the final camera frame,
+and writes the two images as portable graymaps (PGM, viewable with any
+image tool) plus the pair-wise output error.
 
 Run:  python examples/figure1_bodytrack.py [output_dir]
 """
@@ -17,8 +17,9 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro import Mode, TraceSimulator, get_workload
-from repro.sim.frontend import PreciseMemory
+from repro import get_workload
+from repro.api import Simulation
+
 
 SEED = 2
 
@@ -55,18 +56,20 @@ def main() -> None:
     out_dir = sys.argv[1] if len(sys.argv) > 1 else "."
     workload = get_workload("bodytrack")
 
-    print("running bodytrack precisely...")
-    precise = get_workload("bodytrack").execute(PreciseMemory(), SEED)
+    print("running bodytrack precisely and under load value approximation...")
+    result = (
+        Simulation.builder()
+        .workload("bodytrack")
+        .approximator()
+        .seed(SEED)
+        .compare_precise()
+        .run()
+    )
+    precise, approx = result.precise_output, result.output
 
-    print("running bodytrack under load value approximation...")
-    sim = TraceSimulator(Mode.LVA)
-    approx = get_workload("bodytrack").execute(sim, SEED)
-    stats = sim.finish()
-
-    error = workload.output_error(precise, approx)
     print(
-        f"\ncoverage={stats.coverage:.1%}  effective MPKI={stats.mpki:.2f}  "
-        f"output error={error:.2%}  (paper's Figure 1 shows 7.7%)"
+        f"\ncoverage={result.coverage:.1%}  effective MPKI={result.mpki:.2f}  "
+        f"output error={result.output_error:.2%}  (paper's Figure 1 shows 7.7%)"
     )
 
     precise_path = f"{out_dir}/figure1_precise.pgm"

@@ -1,9 +1,10 @@
 #!/usr/bin/env python
 """Quickstart: drive the load value approximator by hand.
 
-This example builds the paper's baseline approximator (Table II), feeds it
-a stream of load misses whose values follow a noisy pattern, and shows the
-three behaviours that distinguish LVA from classic value prediction:
+This example builds the paper's baseline approximator (Table II) through
+the :mod:`repro.api` facade, feeds it a stream of load misses whose values
+follow a noisy pattern, and shows the three behaviours that distinguish
+LVA from classic value prediction:
 
 1. values are *generated* (no validation, no rollback);
 2. the relaxed confidence window tolerates near-misses;
@@ -14,12 +15,12 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import ApproximatorConfig, LoadValueApproximator
+from repro.api import build_approximator, lva
 
 PC = 0x400  # the (synthetic) instruction address of our load
 
 
-def stream(approx: LoadValueApproximator, values, label: str) -> None:
+def stream(approx, values, label: str) -> None:
     """Present each value as a miss; train whenever a fetch is issued."""
     approximated = fetches = 0
     errors = []
@@ -46,21 +47,20 @@ def main() -> None:
     values = 100.0 * (1.0 + rng.normal(0, 0.03, size=2000))
 
     print("== Baseline approximator (Table II) ==")
-    stream(LoadValueApproximator(), values, "degree 0 (fetch every miss)")
+    stream(build_approximator(), values, "degree 0 (fetch every miss)")
 
     print("\n== Energy-error trade-off: approximation degree ==")
     for degree in (2, 4, 16):
-        config = ApproximatorConfig(approximation_degree=degree)
         stream(
-            LoadValueApproximator(config), values, f"degree {degree}"
+            build_approximator(lva(degree=degree)), values, f"degree {degree}"
         )
 
     print("\n== Performance-error trade-off: confidence window ==")
     noisy = 100.0 * (1.0 + rng.normal(0, 0.15, size=2000))  # 15% noise
     for window in (0.05, 0.10, 0.50):
-        config = ApproximatorConfig(confidence_window=window)
         stream(
-            LoadValueApproximator(config), noisy, f"window +/-{window:.0%}"
+            build_approximator(lva(window=window)), noisy,
+            f"window +/-{window:.0%}"
         )
     print(
         "\nWider windows keep approximating noisy data (coverage up), at the"

@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Regenerate the paper's tables and figures programmatically.
 
-The :mod:`repro.experiments` drivers return structured
-:class:`ExperimentResult` objects, so you can post-process the series
-instead of parsing printed tables. This example reruns Table I and
-Figure 6 at reduced scale and highlights the headline comparisons.
+:func:`repro.api.run_experiment` runs any table or figure by its runner
+name and returns a structured :class:`ExperimentResult`, so you can
+post-process the series instead of parsing printed tables. This example
+reruns Table I and Figure 6 at reduced scale and highlights the headline
+comparisons.
 
 For the full-scale versions, run ``python -m repro.experiments`` (or the
 benchmark harness: ``pytest benchmarks/ --benchmark-only``).
@@ -12,16 +13,16 @@ benchmark harness: ``pytest benchmarks/ --benchmark-only``).
 Run:  python examples/reproduce_figures.py
 """
 
-from repro.experiments import fig6, table1
+from repro.api import run_experiment
 
 
 def main() -> None:
     print("reproducing Table I (reduced inputs)...\n")
-    result = table1.run(small=True)
+    result = run_experiment("table1", small=True)
     print(result.format_table())
 
     print("\nreproducing Figure 6 (reduced inputs)...\n")
-    sweep = fig6.run(small=True)
+    sweep = run_experiment("fig6", small=True)
     print(f"{'window':>10} {'avg norm MPKI':>14} {'avg output error':>17}")
     for label in ("0%", "5%", "10%", "20%", "infinite"):
         mpki = sweep.average(f"mpki-{label}")

@@ -3,67 +3,62 @@
 
 Motion estimation dominates video-encoder memory traffic, and pixels are
 the textbook approximable datatype (finite range, strong locality). This
-example captures an x264 trace, replays it through the full-system
-simulator (4 cores, 2x2 mesh, shared L2) and sweeps the approximation
-degree — showing the paper's headline claim that LVA improves performance
-*and* energy simultaneously by trading output error.
+example captures an x264 trace through the :mod:`repro.api` facade,
+replays it through the full-system simulator (4 cores, 2x2 mesh, shared
+L2) and sweeps the approximation degree — showing the paper's headline
+claim that LVA improves performance *and* energy simultaneously by
+trading output error.
 
 Run:  python examples/video_encoding_energy.py
 """
 
-from repro import (
-    ApproximatorConfig,
-    FullSystemConfig,
-    FullSystemSimulator,
-    Mode,
-    TraceRecorder,
-    TraceSimulator,
-    get_workload,
-)
-from repro.sim.frontend import PreciseMemory
+from repro.api import Simulation, lva, replay
 
 SEED = 5
 
 
 def main() -> None:
     print("capturing x264 motion-estimation trace (4 threads)...")
-    recorder = TraceRecorder()
-    sim = TraceSimulator(Mode.PRECISE, recorder=recorder)
-    workload = get_workload("x264")
-    workload.execute(sim, SEED)
-    sim.finish()
-    trace = recorder.trace
+    capture = (
+        Simulation.builder()
+        .workload("x264")
+        .precise()
+        .seed(SEED)
+        .record_trace()
+        .run()
+    )
+    trace = capture.trace
     print(f"  {len(trace)} loads, {trace.total_instructions} instructions\n")
 
-    baseline = FullSystemSimulator(FullSystemConfig()).run(trace)
+    baseline = replay(trace)
     print(
         f"precise execution: {baseline.cycles:,.0f} cycles, "
         f"{baseline.energy.total_nj / 1e3:,.1f} uJ dynamic, "
         f"avg miss latency {baseline.average_miss_latency:.1f} cycles\n"
     )
 
-    # Measure output error once per degree with the phase-1 simulator
-    # (error is an application property, not a timing one).
-    reference = get_workload("x264").execute(PreciseMemory(), SEED)
-
     print(f"{'degree':>6} {'speedup':>9} {'energy saved':>13} "
           f"{'miss EDP':>9} {'PSNR/bitrate error':>19}")
     for degree in (0, 2, 4, 8, 16):
-        config = ApproximatorConfig(approximation_degree=degree)
-        lva = FullSystemSimulator(
-            FullSystemConfig(approximate=True, approximator=config)
-        ).run(trace)
+        config = lva(degree=degree)
+        approx = replay(trace, approximator=config)
 
-        error_sim = TraceSimulator(Mode.LVA, approximator_config=config)
-        encoded = get_workload("x264").execute(error_sim, SEED)
-        error_sim.finish()
-        error = get_workload("x264").output_error(reference, encoded)
+        # Output error is an application property, not a timing one, so
+        # it comes from a phase-1 run against the precise baseline.
+        error_run = (
+            Simulation.builder()
+            .workload("x264")
+            .approximator(config)
+            .seed(SEED)
+            .compare_precise()
+            .run()
+        )
 
         print(
-            f"{degree:>6} {lva.speedup_over(baseline):>8.1%} "
-            f"{lva.energy_savings_over(baseline):>12.1%} "
-            f"{lva.miss_edp / baseline.miss_edp:>9.2f} "
-            f"{error:>18.2%}"
+            f"{degree:>6} {approx.speedup_over(baseline):>8.1%} "
+            f"{approx.energy_savings_over(baseline):>12.1%} "
+            f"{approx.miss_edp / baseline.miss_edp:>9.2f} "
+            f"{error_run.output_error:>18.2%}"
         )
 
     print(

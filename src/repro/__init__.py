@@ -5,7 +5,21 @@ with values *generated* by a small hardware approximator, removing the miss
 from the critical path without speculation or rollback, and — via the
 approximation degree — without even fetching the block.
 
-Public API tour::
+Public API tour — the facade (:mod:`repro.api`) is the supported entry
+point for programmatic use::
+
+    from repro import Simulation, lva
+
+    result = (
+        Simulation.builder()
+        .workload("canneal", small=True)
+        .approximator(lva(window=0.05, degree=4))
+        .compare_precise()
+        .run()
+    )
+    print(result.summary())
+
+The lower layers stay importable for tooling and tinkering::
 
     from repro import (
         ApproximatorConfig, LoadValueApproximator,   # the contribution
@@ -37,6 +51,16 @@ Subpackages:
 """
 
 from repro.annotations import AuditingMemory, AuditReport, audit_workload
+from repro.api import (
+    RunResult,
+    Simulation,
+    SimulationBuilder,
+    audit,
+    build_approximator,
+    lva,
+    replay,
+    run_experiment,
+)
 from repro.core.approximator import ApproximationDecision, LoadValueApproximator
 from repro.core.config import BASELINE_CONFIG, INFINITE_WINDOW, ApproximatorConfig
 from repro.core.predictor import IdealizedLoadValuePredictor
@@ -73,11 +97,19 @@ __all__ = [
     "Mode",
     "PreciseMemory",
     "ReproError",
+    "RunResult",
+    "Simulation",
+    "SimulationBuilder",
     "SimulationError",
     "Trace",
     "TraceRecorder",
     "TraceSimulator",
     "WorkloadError",
+    "audit",
+    "build_approximator",
     "get_workload",
+    "lva",
+    "replay",
+    "run_experiment",
     "workload_names",
 ]

@@ -20,6 +20,9 @@ LVA004    worker safety — only module-level functions cross the
           worker entry points
 LVA005    stats consistency — counter writes must match declared
           ``*Stats`` fields, and every declared counter must be written
+LVA006    guarded hot-path telemetry — hook calls in per-load methods
+          stay behind ``if self._tel is not None``; no telemetry
+          module-API calls on the hot path
 ========  ============================================================
 
 Violations are suppressed per line with ``# lva: ignore[LVA001]`` (or a

@@ -33,7 +33,8 @@ def build_parser() -> argparse.ArgumentParser:
             "AST-based invariant checker for the LVA reproduction: "
             "determinism (LVA001), cache-key completeness (LVA002), "
             "hot-path discipline (LVA003), worker safety (LVA004), "
-            "stats consistency (LVA005)."
+            "stats consistency (LVA005), guarded hot-path telemetry "
+            "(LVA006)."
         ),
     )
     parser.add_argument(

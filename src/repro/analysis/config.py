@@ -43,6 +43,13 @@ class AnalysisConfig:
             worker entry points inside ``worker_modules``.
         stats_packages: Packages participating in the LVA005 counter
             cross-check (declared ``*Stats`` fields vs. write sites).
+        telemetry_hook_attrs: Instance attributes holding a pre-resolved
+            telemetry hook (``None`` when disabled); LVA006 requires
+            calls on them inside hot methods to be ``is not None``
+            guarded.
+        telemetry_modules: Packages whose module-level API LVA006
+            forbids calling from hot methods (hook resolution belongs in
+            ``__init__``, not on the per-load path).
     """
 
     sim_packages: Tuple[str, ...] = (
@@ -87,6 +94,8 @@ class AnalysisConfig:
     worker_modules: Tuple[str, ...] = ("repro.experiments.sweep",)
     worker_entry_patterns: Tuple[str, ...] = ("_run_", "_worker", "_pool_worker")
     stats_packages: Tuple[str, ...] = field(default=())
+    telemetry_hook_attrs: Tuple[str, ...] = ("_tel",)
+    telemetry_modules: Tuple[str, ...] = ("repro.telemetry",)
 
     def effective_stats_packages(self) -> Tuple[str, ...]:
         """LVA005 scope: explicit override, else sim packages + the CPU model."""

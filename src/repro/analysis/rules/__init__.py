@@ -12,7 +12,15 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effects)
     determinism,
     hotpath,
     statscheck,
+    telemetry,
     workers,
 )
 
-__all__ = ["cachekey", "determinism", "hotpath", "statscheck", "workers"]
+__all__ = [
+    "cachekey",
+    "determinism",
+    "hotpath",
+    "statscheck",
+    "telemetry",
+    "workers",
+]

@@ -1,0 +1,205 @@
+"""LVA006 — telemetry on the hot path must be guarded hook calls.
+
+The telemetry subsystem's contract is zero overhead when disabled: the
+simulator resolves its hook once at construction (``self._tel =
+sim_hook()`` — ``None`` when telemetry is off) and the per-load methods
+only touch it behind an ``if self._tel is not None:`` guard. Two drift
+modes silently break that contract:
+
+* a hook call (``self._tel.on_load(...)``) added to a hot method without
+  the ``is not None`` guard crashes every disabled-mode run — or worse,
+  gets "fixed" with a per-call ``getattr`` dance;
+* a *module-level* telemetry call (``telemetry.metrics()``,
+  ``sim_hook()``) inside a hot method re-resolves configuration on every
+  load, paying dict lookups and env reads per event even when telemetry
+  is off.
+
+The rule checks the methods named in :attr:`AnalysisConfig.hot_methods`
+(inside :attr:`AnalysisConfig.hotpath_packages`): calls on the hook
+attributes (:attr:`AnalysisConfig.telemetry_hook_attrs`) must sit inside
+a guard on that same attribute, and names imported from
+:attr:`AnalysisConfig.telemetry_modules` must not be called at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List
+
+from repro.analysis.config import in_packages
+from repro.analysis.core import ModuleInfo, ProjectContext, Rule, Violation, register
+
+
+def _telemetry_aliases(
+    tree: ast.Module, telemetry_modules: tuple
+) -> Dict[str, str]:
+    """Local name -> telemetry origin, from the module's import statements."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if in_packages(item.name, telemetry_modules):
+                    aliases[item.asname or item.name.split(".")[0]] = item.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None:
+                continue
+            for item in node.names:
+                full = f"{node.module}.{item.name}"
+                if in_packages(full, telemetry_modules) or in_packages(
+                    node.module, telemetry_modules
+                ):
+                    aliases[item.asname or item.name] = full
+    return aliases
+
+
+def _hook_attr(node: ast.AST, hook_attrs: FrozenSet[str]) -> str:
+    """The hook name when ``node`` is ``self.<hook>``, else ``""``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in hook_attrs
+    ):
+        return node.attr
+    return ""
+
+
+def _guarded_hooks(test: ast.expr, hook_attrs: FrozenSet[str]) -> FrozenSet[str]:
+    """Hook names proven non-None by an ``if`` test.
+
+    Recognises ``self._tel is not None``, plain truthiness
+    (``if self._tel:``) and ``and``-conjunctions of those.
+    """
+    name = _hook_attr(test, hook_attrs)
+    if name:
+        return frozenset((name,))
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.IsNot)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        name = _hook_attr(test.left, hook_attrs)
+        if name:
+            return frozenset((name,))
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        guarded: FrozenSet[str] = frozenset()
+        for value in test.values:
+            guarded = guarded | _guarded_hooks(value, hook_attrs)
+        return guarded
+    return frozenset()
+
+
+@register
+class TelemetryHotPathRule(Rule):
+    """Hot-path telemetry goes through a guarded, pre-resolved hook."""
+
+    rule_id = "LVA006"
+    title = "hot-path telemetry must be guarded hook calls, not module API"
+
+    def check(self, info: ModuleInfo, ctx: ProjectContext) -> Iterator[Violation]:
+        if not ctx.config.is_hotpath_module(info.module):
+            return iter(())
+        hook_attrs = frozenset(ctx.config.telemetry_hook_attrs)
+        hot_methods = frozenset(ctx.config.hot_methods)
+        aliases = _telemetry_aliases(
+            info.tree, tuple(ctx.config.telemetry_modules)
+        )
+        violations: List[Violation] = []
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for method in node.body:
+                if not isinstance(method, ast.FunctionDef):
+                    continue
+                qualified = f"{node.name}.{method.name}"
+                if qualified not in hot_methods:
+                    continue
+                for stmt in method.body:
+                    self._scan(
+                        stmt,
+                        frozenset(),
+                        qualified,
+                        hook_attrs,
+                        aliases,
+                        info,
+                        violations,
+                    )
+        return iter(violations)
+
+    def _scan(
+        self,
+        node: ast.AST,
+        guarded: FrozenSet[str],
+        qualified: str,
+        hook_attrs: FrozenSet[str],
+        aliases: Dict[str, str],
+        info: ModuleInfo,
+        out: List[Violation],
+    ) -> None:
+        if isinstance(node, ast.If):
+            newly = _guarded_hooks(node.test, hook_attrs)
+            self._scan_expr(
+                node.test, guarded, qualified, hook_attrs, aliases, info, out
+            )
+            for stmt in node.body:
+                self._scan(
+                    stmt, guarded | newly, qualified, hook_attrs, aliases, info, out
+                )
+            for stmt in node.orelse:
+                self._scan(stmt, guarded, qualified, hook_attrs, aliases, info, out)
+            return
+        self._scan_expr(node, guarded, qualified, hook_attrs, aliases, info, out)
+        for child in ast.iter_child_nodes(node):
+            self._scan(child, guarded, qualified, hook_attrs, aliases, info, out)
+
+    def _scan_expr(
+        self,
+        node: ast.AST,
+        guarded: FrozenSet[str],
+        qualified: str,
+        hook_attrs: FrozenSet[str],
+        aliases: Dict[str, str],
+        info: ModuleInfo,
+        out: List[Violation],
+    ) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            hook = _hook_attr(func.value, hook_attrs)
+            if hook and hook not in guarded:
+                out.append(
+                    self.violation(
+                        info,
+                        node,
+                        f"hot method '{qualified}' calls self.{hook}."
+                        f"{func.attr}() without an 'if self.{hook} is not "
+                        "None' guard (disabled telemetry sets the hook to "
+                        "None; unguarded calls crash or cost per load)",
+                    )
+                )
+                return
+            root = func.value
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name) and root.id in aliases:
+                out.append(
+                    self.violation(
+                        info,
+                        node,
+                        f"hot method '{qualified}' calls the telemetry "
+                        f"module API ({aliases[root.id]}); resolve a hook "
+                        "once in __init__ and call it behind a None guard",
+                    )
+                )
+        elif isinstance(func, ast.Name) and func.id in aliases:
+            out.append(
+                self.violation(
+                    info,
+                    node,
+                    f"hot method '{qualified}' calls {aliases[func.id]}() "
+                    "per load; resolve the hook once in __init__ instead",
+                )
+            )

@@ -29,6 +29,7 @@ from repro.core.functions import COMPUTE_FUNCTIONS
 from repro.core.hashing import context_hash
 from repro.core.history import HistoryBuffer
 from repro.errors import ConfigurationError
+from repro.telemetry.registry import safe_ratio
 
 Number = Union[int, float]
 
@@ -89,9 +90,7 @@ class ApproximatorStats:
     @property
     def coverage(self) -> float:
         """Fraction of presented misses that were approximated."""
-        if self.lookups == 0:
-            return 0.0
-        return self.approximations / self.lookups
+        return safe_ratio(self.approximations, self.lookups)
 
 
 class DelayQueue:

@@ -23,6 +23,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Tuple
 
+from repro.telemetry.registry import safe_ratio
+
 from repro.errors import ConfigurationError
 
 
@@ -55,9 +57,7 @@ class CoreStats:
     @property
     def average_miss_latency(self) -> float:
         """Mean L1 miss latency observed by this core, in cycles."""
-        if self.load_misses == 0:
-            return 0.0
-        return self.total_miss_latency / self.load_misses
+        return safe_ratio(self.total_miss_latency, self.load_misses)
 
 
 class CoreTimingModel:

@@ -16,9 +16,21 @@ sweep point needs the same baseline.
 
 from __future__ import annotations
 
+import functools
 import math
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro import faults
 from repro.core.config import ApproximatorConfig
@@ -27,6 +39,9 @@ from repro.fullsystem import FullSystemConfig, FullSystemResult, FullSystemSimul
 from repro.sim.trace import Trace, TraceRecorder
 from repro.sim.tracesim import Mode, TraceSimulator
 from repro.workloads.registry import get_workload, workload_names
+
+if TYPE_CHECKING:  # avoid the common <-> sweep import cycle at runtime
+    from repro.experiments.sweep import SweepPoint
 
 #: Canonical workload order used by every figure.
 BASELINE_WORKLOADS: Tuple[str, ...] = tuple(workload_names())
@@ -141,6 +156,91 @@ def averaged(
             values = [r.series[label][workload] for r in results]
             merged.add(label, workload, sum(values) / len(values))
     return merged
+
+
+@runtime_checkable
+class ExperimentDriver(Protocol):
+    """The one experiment-driver contract.
+
+    Every figure/table module used to expose a duck-typed mix of
+    module-level ``run``/``points`` functions; the runner, the sweep
+    engine and programmatic callers now all speak to this protocol
+    instead:
+
+    * :meth:`points` — declare the sweep points this experiment needs
+      (empty for experiments that cannot be decomposed, e.g. the
+      full-system replays);
+    * :meth:`run_point` — compute one declared point, warming the
+      result caches;
+    * :meth:`render` — assemble the figure/table, reading those caches.
+
+    The module-level ``run``/``points`` names still exist as
+    deprecation shims (see :func:`deprecated_entry`).
+    """
+
+    name: str
+
+    def points(self, small: bool = False, seed: int = 0) -> "List[SweepPoint]": ...
+
+    def run_point(self, point: "SweepPoint") -> object: ...
+
+    def render(self, small: bool = False, seed: int = 0) -> ExperimentResult: ...
+
+
+@dataclass(frozen=True)
+class Driver:
+    """Concrete :class:`ExperimentDriver` wrapping a driver module's
+    render and point-declaration functions."""
+
+    name: str
+    render_fn: Callable[..., ExperimentResult]
+    points_fn: Optional[Callable[..., "List[SweepPoint]"]] = None
+
+    def points(self, small: bool = False, seed: int = 0) -> "List[SweepPoint]":
+        """The sweep points this experiment needs (may be empty)."""
+        if self.points_fn is None:
+            return []
+        return self.points_fn(small=small, seed=seed)
+
+    def run_point(self, point: "SweepPoint") -> object:
+        """Compute one point in-process, warming the result caches."""
+        from repro.experiments.sweep import execute_point
+
+        return execute_point(point)
+
+    def render(self, small: bool = False, seed: int = 0) -> ExperimentResult:
+        """Assemble the figure/table (cheap once the caches are warm)."""
+        return self.render_fn(small=small, seed=seed)
+
+    def __call__(self, small: bool = False, seed: int = 0) -> ExperimentResult:
+        # Drivers stay callable so seed-averaging helpers and existing
+        # ``EXPERIMENTS[name](...)`` call sites keep working.
+        return self.render(small=small, seed=seed)
+
+
+def deprecated_entry(
+    driver: ExperimentDriver, method: str, old_name: str
+) -> Callable[..., object]:
+    """A module-level shim for a pre-protocol entry point.
+
+    Calls ``getattr(driver, method)`` after emitting a
+    :class:`DeprecationWarning` naming the replacement. Keeps the old
+    ``module.run(...)`` / ``module.points(...)`` call forms working for
+    one deprecation cycle.
+    """
+    target = getattr(driver, method)
+
+    @functools.wraps(target)
+    def shim(*args: object, **kwargs: object) -> object:
+        warnings.warn(
+            f"{old_name}() is deprecated; use the ExperimentDriver protocol "
+            f"({driver.name} DRIVER.{method}()) or repro.api.run_experiment()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return target(*args, **kwargs)
+
+    return shim
 
 
 def geometric_mean(values: Iterable[float]) -> float:

@@ -44,3 +44,10 @@ def run(small: bool = False, seed: int = 0) -> ExperimentResult:
             )
         result.add("baseline-miss-latency", name, baseline.average_miss_latency)
     return result
+
+from repro.experiments.common import Driver, deprecated_entry
+
+#: The :class:`~repro.experiments.common.ExperimentDriver` for this
+#: experiment — the supported entry point for programmatic use.
+DRIVER = Driver(name="fig10", render_fn=run)
+run = deprecated_entry(DRIVER, "render", "repro.experiments.fig10.run")

@@ -39,3 +39,10 @@ def run(small: bool = False, seed: int = 0) -> ExperimentResult:
             normalized = lva.miss_edp / baseline_edp if baseline_edp else 0.0
             result.add(f"approx-{degree}", name, normalized)
     return result
+
+from repro.experiments.common import Driver, deprecated_entry
+
+#: The :class:`~repro.experiments.common.ExperimentDriver` for this
+#: experiment — the supported entry point for programmatic use.
+DRIVER = Driver(name="fig11", render_fn=run)
+run = deprecated_entry(DRIVER, "render", "repro.experiments.fig11.run")

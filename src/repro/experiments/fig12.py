@@ -36,3 +36,11 @@ def run(small: bool = False, seed: int = 0) -> ExperimentResult:
         lva = run_technique(name, Mode.LVA, seed=seed, small=small)
         result.add("static_approx_pcs", name, float(lva.static_approx_pcs))
     return result
+
+from repro.experiments.common import Driver, deprecated_entry
+
+#: The :class:`~repro.experiments.common.ExperimentDriver` for this
+#: experiment — the supported entry point for programmatic use.
+DRIVER = Driver(name="fig12", render_fn=run, points_fn=points)
+run = deprecated_entry(DRIVER, "render", "repro.experiments.fig12.run")
+points = deprecated_entry(DRIVER, "points", "repro.experiments.fig12.points")

@@ -56,3 +56,11 @@ def run(small: bool = False, seed: int = 0) -> ExperimentResult:
             result.add(f"LVP-GHB-{ghb}", name, lvp.normalized_mpki)
             result.add(f"LVA-GHB-{ghb}", name, lva.normalized_mpki)
     return result
+
+from repro.experiments.common import Driver, deprecated_entry
+
+#: The :class:`~repro.experiments.common.ExperimentDriver` for this
+#: experiment — the supported entry point for programmatic use.
+DRIVER = Driver(name="fig4", render_fn=run, points_fn=points)
+run = deprecated_entry(DRIVER, "render", "repro.experiments.fig4.run")
+points = deprecated_entry(DRIVER, "points", "repro.experiments.fig4.points")

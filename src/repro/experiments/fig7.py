@@ -52,3 +52,11 @@ def run(small: bool = False, seed: int = 0) -> ExperimentResult:
             result.add(f"mpki-delay-{delay}", name, lva.normalized_mpki)
             result.add(f"error-delay-{delay}", name, lva.output_error)
     return result
+
+from repro.experiments.common import Driver, deprecated_entry
+
+#: The :class:`~repro.experiments.common.ExperimentDriver` for this
+#: experiment — the supported entry point for programmatic use.
+DRIVER = Driver(name="fig7", render_fn=run, points_fn=points)
+run = deprecated_entry(DRIVER, "render", "repro.experiments.fig7.run")
+points = deprecated_entry(DRIVER, "points", "repro.experiments.fig7.points")

@@ -74,3 +74,11 @@ def run(small: bool = False, seed: int = 0) -> ExperimentResult:
             result.add(f"approx-{degree}-mpki", name, lva.normalized_mpki)
             result.add(f"approx-{degree}-fetches", name, lva.normalized_fetches)
     return result
+
+from repro.experiments.common import Driver, deprecated_entry
+
+#: The :class:`~repro.experiments.common.ExperimentDriver` for this
+#: experiment — the supported entry point for programmatic use.
+DRIVER = Driver(name="fig8", render_fn=run, points_fn=points)
+run = deprecated_entry(DRIVER, "render", "repro.experiments.fig8.run")
+points = deprecated_entry(DRIVER, "points", "repro.experiments.fig8.points")

@@ -74,3 +74,10 @@ def run(small: bool = False, seed: int = 0) -> ExperimentResult:
         result.add("fast_latency", label, _fast_latency(packets, fast_config))
         result.add("detailed_latency", label, _detailed_latency(packets, detailed_config))
     return result
+
+from repro.experiments.common import Driver, deprecated_entry
+
+#: The :class:`~repro.experiments.common.ExperimentDriver` for this
+#: experiment — the supported entry point for programmatic use.
+DRIVER = Driver(name="ablate-noc-model", render_fn=run)
+run = deprecated_entry(DRIVER, "render", "repro.experiments.noc_calibration.run")

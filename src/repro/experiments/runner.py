@@ -26,16 +26,15 @@ replays) still run whole in worker processes.
 from __future__ import annotations
 
 import argparse
-import cProfile
-import io
-import pstats
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional
 
-from repro import faults
+from repro import faults, telemetry
 from repro.errors import ConfigurationError
+from repro.telemetry.profiling import Profiler, profile_to_text
 from repro.experiments import (
     ablations,
     diskcache,
@@ -56,56 +55,45 @@ from repro.experiments import (
     table1,
     table2,
 )
-from repro.experiments.common import ExperimentResult, averaged
+from repro.experiments.common import Driver, ExperimentResult, averaged
 from repro.experiments.expectations import verify
 from repro.experiments.report import render_report, to_json
 from repro.experiments.sweep import SweepEngine, SweepPoint
 
-EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
-    "table1": table1.run,
-    "fig1": fig1.run,
-    "table2": table2.run,
-    "fig4": fig4.run,
-    "fig5": fig5.run,
-    "fig6": fig6.run,
-    "fig7": fig7.run,
-    "fig8": fig8.run,
-    "fig9": fig9.run,
-    "fig10": fig10.run,
-    "fig11": fig11.run,
-    "fig12": fig12.run,
-    "fig13": fig13.run,
-    "ablate-table-size": ablations.table_size,
-    "ablate-lhb-size": ablations.lhb_size,
-    "ablate-compute-fn": ablations.compute_function,
-    "ablate-int-confidence": ablations.int_confidence,
-    "ablate-confidence-steps": ablations.confidence_steps,
-    "ablate-noc-model": noc_calibration.run,
-    "ablate-sensitivity": sensitivity.run,
-    "ablate-memory-faults": fault_ablation.run,
+#: Every experiment, keyed by CLI name, as an
+#: :class:`~repro.experiments.common.ExperimentDriver`. ``Driver`` objects
+#: are callable (``DRIVERS[name](small=..., seed=...)`` renders), so this
+#: mapping also serves the seed-averaging helper unchanged.
+DRIVERS: Dict[str, Driver] = {
+    "table1": table1.DRIVER,
+    "fig1": fig1.DRIVER,
+    "table2": table2.DRIVER,
+    "fig4": fig4.DRIVER,
+    "fig5": fig5.DRIVER,
+    "fig6": fig6.DRIVER,
+    "fig7": fig7.DRIVER,
+    "fig8": fig8.DRIVER,
+    "fig9": fig9.DRIVER,
+    "fig10": fig10.DRIVER,
+    "fig11": fig11.DRIVER,
+    "fig12": fig12.DRIVER,
+    "fig13": fig13.DRIVER,
+    **ablations.DRIVERS,
+    "ablate-noc-model": noc_calibration.DRIVER,
+    "ablate-sensitivity": sensitivity.DRIVER,
+    "ablate-memory-faults": fault_ablation.DRIVER,
 }
+
+#: Backwards-compatible views of :data:`DRIVERS` (drivers are callable).
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = dict(DRIVERS)
 
 #: Experiments decomposable into sweep points.  The rest (trace replay,
 #: full-system, NoC calibration) run whole because their cost is not in
 #: cacheable ``run_technique``/``run_precise_reference`` calls.
 POINTS: Dict[str, Callable[..., List[SweepPoint]]] = {
-    "table1": table1.points,
-    "fig1": fig1.points,
-    "fig4": fig4.points,
-    "fig5": fig5.points,
-    "fig6": fig6.points,
-    "fig7": fig7.points,
-    "fig8": fig8.points,
-    "fig9": fig9.points,
-    "fig12": fig12.points,
-    "fig13": fig13.points,
-    "ablate-table-size": ablations.table_size_points,
-    "ablate-lhb-size": ablations.lhb_size_points,
-    "ablate-compute-fn": ablations.compute_function_points,
-    "ablate-int-confidence": ablations.int_confidence_points,
-    "ablate-confidence-steps": ablations.confidence_steps_points,
-    "ablate-sensitivity": sensitivity.points,
-    "ablate-memory-faults": fault_ablation.points,
+    name: driver.points
+    for name, driver in DRIVERS.items()
+    if driver.points_fn is not None
 }
 
 
@@ -132,7 +120,14 @@ def _experiment_key(name: str, repeats: int, small: bool, seed: int) -> str:
     )
 
 
-def _run_one(name: str, repeats: int, small: bool, seed: int, profile: bool = False):
+def _run_one(
+    name: str,
+    repeats: int,
+    small: bool,
+    seed: int,
+    profile: bool = False,
+    profiler: Optional[Profiler] = None,
+):
     """Worker entry point: run one experiment (possibly seed-averaged).
 
     Unswept experiments (the trace/full-system replays) are cached whole
@@ -140,6 +135,10 @@ def _run_one(name: str, repeats: int, small: bool, seed: int, profile: bool = Fa
     are just as deterministic, so their finished tables can be served
     from the same disk layer. Profiled runs bypass the cache — a profile
     of a disk read is not what ``--profile`` asks for.
+
+    ``profiler`` (parent-process, in-serial runs only — it is not
+    picklable) records a component frame per experiment for the
+    ``--profile-out`` speedscope export.
     """
     started = time.time()
     disk = None
@@ -149,27 +148,29 @@ def _run_one(name: str, repeats: int, small: bool, seed: int, profile: bool = Fa
         stored = disk.get(_experiment_key(name, repeats, small, seed))
         if isinstance(stored, ExperimentResult):
             return name, stored, time.time() - started, None
-    profiler = None
-    if profile:
-        profiler = cProfile.Profile()
-        profiler.enable()
-    if repeats > 1:
-        result = averaged(EXPERIMENTS[name], repeats=repeats, small=small, seed=seed)
-    else:
-        result = EXPERIMENTS[name](small=small, seed=seed)
+
+    def compute() -> ExperimentResult:
+        if repeats > 1:
+            return averaged(DRIVERS[name], repeats=repeats, small=small, seed=seed)
+        return DRIVERS[name].render(small=small, seed=seed)
+
     profile_text: Optional[str] = None
-    if profiler is not None:
-        profiler.disable()
-        buffer = io.StringIO()
-        stats = pstats.Stats(profiler, stream=buffer)
-        stats.sort_stats("cumulative").print_stats(20)
-        profile_text = buffer.getvalue()
+    if profile:
+        result, profile_text = profile_to_text(compute, limit=20)
+    else:
+        frame = (
+            profiler.frame(f"experiment:{name}")
+            if profiler is not None
+            else nullcontext()
+        )
+        with frame:
+            result = compute()
     if disk is not None:
         disk.put(_experiment_key(name, repeats, small, seed), result)
     return name, result, time.time() - started, profile_text
 
 
-def _execute(names, args):
+def _execute(names, args, profiler: Optional[Profiler] = None):
     """Yield (name, result, elapsed, profile) per experiment, honouring --jobs.
 
     Swept experiments run serially in the parent — after a sweep their
@@ -181,7 +182,9 @@ def _execute(names, args):
     """
     if args.jobs <= 1 or len(names) == 1:
         for name in names:
-            yield _run_one(name, args.repeats, args.small, args.seed, args.profile)
+            yield _run_one(
+                name, args.repeats, args.small, args.seed, args.profile, profiler
+            )
         return
 
     pooled = [i for i, name in enumerate(names) if name not in POINTS]
@@ -196,7 +199,7 @@ def _execute(names, args):
         for i, name in enumerate(names):
             if name in POINTS:
                 completed[i] = _run_one(
-                    name, args.repeats, args.small, args.seed, args.profile
+                    name, args.repeats, args.small, args.seed, args.profile, profiler
                 )
         next_index = 0
         while next_index < len(names) and next_index in completed:
@@ -286,6 +289,24 @@ def main(argv=None) -> int:
         help="fault-injection spec, e.g. 'crash:workload=canneal' or "
         "'flip:prob=0.001' (see docs/robustness.md)",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="enable the metrics registry and sim telemetry hooks",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL telemetry trace to PATH (implies --telemetry; "
+        "summarize it with lva-trace)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="write a speedscope (flamegraph) JSON profile of this run to PATH",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -295,6 +316,8 @@ def main(argv=None) -> int:
 
     if args.no_cache:
         diskcache.disable()
+    if args.trace or args.telemetry:
+        telemetry.configure(on=True, trace=args.trace)
     if args.inject:
         try:
             faults.activate(args.inject)
@@ -305,6 +328,8 @@ def main(argv=None) -> int:
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    profiler = Profiler("lva-experiments") if args.profile_out else None
 
     engine_requested = (
         args.jobs > 1
@@ -323,7 +348,11 @@ def main(argv=None) -> int:
                 jitter_seed=args.seed,
             )
             try:
-                report = engine.execute(points)
+                sweep_frame = (
+                    profiler.frame("sweep") if profiler is not None else nullcontext()
+                )
+                with sweep_frame:
+                    report = engine.execute(points)
             except KeyboardInterrupt:
                 print(
                     "\nsweep interrupted; completed points are journaled — "
@@ -338,7 +367,7 @@ def main(argv=None) -> int:
 
     results = []
     failures = 0
-    for name, result, elapsed, profile_text in _execute(names, args):
+    for name, result, elapsed, profile_text in _execute(names, args, profiler):
         results.append(result)
         print(result.format_table())
         if profile_text:
@@ -357,6 +386,12 @@ def main(argv=None) -> int:
     if args.markdown:
         with open(args.markdown, "w") as handle:
             handle.write(render_report(results, title="Load Value Approximation — measured results"))
+    if profiler is not None:
+        out = profiler.write_speedscope(args.profile_out)
+        print(f"[speedscope profile written to {out}]")
+    if args.trace:
+        telemetry.shutdown()
+        print(f"[telemetry trace written to {args.trace}]")
     return 1 if failures else 0
 
 

@@ -64,7 +64,7 @@ from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro import faults
+from repro import faults, telemetry
 from repro.core.config import ApproximatorConfig
 from repro.errors import PointTimeoutError
 from repro.experiments import common, diskcache
@@ -201,9 +201,22 @@ def _run_precise_worker(point: SweepPoint, attempt: int = 0):
         "precise", point.workload, None, point.seed, point.small, attempt=attempt
     )
     before = common.COMPUTE_COUNTERS.as_dict()
-    reference = common.run_precise_reference(
-        point.workload, point.seed, point.small, point.params_dict()
-    )
+    tracer = telemetry.tracer()
+    if tracer is None:
+        reference = common.run_precise_reference(
+            point.workload, point.seed, point.small, point.params_dict()
+        )
+    else:
+        tracer.emit(
+            "sweep.point.running",
+            point=point.describe(),
+            kind="precise",
+            attempt=attempt,
+        )
+        with tracer.span("sweep.point", point=point.describe(), kind="precise"):
+            reference = common.run_precise_reference(
+                point.workload, point.seed, point.small, point.params_dict()
+            )
     return point, reference, _counter_delta(before, common.COMPUTE_COUNTERS.as_dict())
 
 
@@ -219,16 +232,38 @@ def _run_technique_worker(point: SweepPoint, attempt: int = 0):
         attempt=attempt,
     )
     before = common.COMPUTE_COUNTERS.as_dict()
-    with faults.memory_faults(point.faults):
-        result = common.run_technique(
-            point.workload,
-            point.mode,
-            config=point.config,
-            prefetch_degree=point.prefetch_degree,
-            seed=point.seed,
-            small=point.small,
-            params=point.params_dict(),
+    tracer = telemetry.tracer()
+    if tracer is not None:
+        tracer.emit(
+            "sweep.point.running",
+            point=point.describe(),
+            kind="technique",
+            attempt=attempt,
         )
+    with faults.memory_faults(point.faults):
+        if tracer is None:
+            result = common.run_technique(
+                point.workload,
+                point.mode,
+                config=point.config,
+                prefetch_degree=point.prefetch_degree,
+                seed=point.seed,
+                small=point.small,
+                params=point.params_dict(),
+            )
+        else:
+            with tracer.span(
+                "sweep.point", point=point.describe(), kind="technique"
+            ):
+                result = common.run_technique(
+                    point.workload,
+                    point.mode,
+                    config=point.config,
+                    prefetch_degree=point.prefetch_degree,
+                    seed=point.seed,
+                    small=point.small,
+                    params=point.params_dict(),
+                )
     return point, result, _counter_delta(before, common.COMPUTE_COUNTERS.as_dict())
 
 
@@ -289,6 +324,8 @@ class _Task:
     kind: str
     key: str
     attempts: int = 0
+    #: ``time.monotonic()`` at the start of the current attempt (0 = unset).
+    started: float = 0.0
 
     @property
     def worker(self):
@@ -427,6 +464,12 @@ class SweepEngine:
             for point in technique_points
         ]
 
+        tracer = telemetry.tracer()
+        if tracer is not None:
+            for task in baseline_tasks + technique_tasks:
+                tracer.emit(
+                    "sweep.point.queued", point=task.point.describe(), kind=task.kind
+                )
         journal = self._open_journal(baseline_tasks + technique_tasks)
         self._install_signal_handler()
         try:
@@ -441,6 +484,7 @@ class SweepEngine:
             journal.close()
 
         report.elapsed += time.time() - started
+        self._emit_summary(report)
         return report
 
     # -- journal --------------------------------------------------------- #
@@ -529,6 +573,7 @@ class SweepEngine:
         """
         for task in tasks:
             while True:
+                task.started = time.monotonic()
                 try:
                     _, result, counters = task.worker(task.point, task.attempts)
                 except (KeyboardInterrupt, SystemExit):
@@ -568,6 +613,7 @@ class SweepEngine:
 
                 while pending and len(inflight) < self.jobs:
                     task = pending.popleft()
+                    task.started = time.monotonic()
                     try:
                         future = pool.submit(task.worker, task.point, task.attempts)
                     except BrokenExecutor:
@@ -687,6 +733,9 @@ class SweepEngine:
         return self._rebuild_or_degrade(pool)
 
     def _rebuild_or_degrade(self, pool):
+        tracer = telemetry.tracer()
+        if tracer is not None:
+            tracer.emit("sweep.pool.rebuild", count=self.report.pool_rebuilds + 1)
         self.report.pool_rebuilds += 1
         self._shutdown_pool(pool, kill=True)
         if self.report.pool_rebuilds > self.max_pool_rebuilds:
@@ -732,6 +781,15 @@ class SweepEngine:
         task.attempts += 1
         if task.attempts <= self.retries:
             self.report.retried_attempts += 1
+            tracer = telemetry.tracer()
+            if tracer is not None:
+                tracer.emit(
+                    "sweep.point.retry",
+                    point=task.point.describe(),
+                    kind=task.kind,
+                    attempt=task.attempts,
+                    error=type(exc).__name__,
+                )
             eligible = time.monotonic() + self._backoff_delay(task.attempts)
             heapq.heappush(retry_heap, (eligible, next(self._seq), task))
         else:
@@ -744,6 +802,17 @@ class SweepEngine:
             _backfill_technique(task.point, result)
         self._absorb_counters(_ZERO_COUNTERS, counters)
         journal.record_done(task.kind, task.key)
+        if telemetry.enabled():
+            wall = time.monotonic() - task.started if task.started else 0.0
+            telemetry.metrics().histogram("sweep.point.wall_s").observe(wall)
+            tracer = telemetry.tracer()
+            if tracer is not None:
+                tracer.emit(
+                    "sweep.point.done",
+                    point=task.point.describe(),
+                    kind=task.kind,
+                    wall_s=round(wall, 6),
+                )
 
     def _record_failure(self, task: _Task, exc: Exception, journal) -> None:
         failure = PointFailure(
@@ -756,6 +825,15 @@ class SweepEngine:
         self._register_failure(task, failure, journal)
 
     def _register_failure(self, task: _Task, failure: PointFailure, journal) -> None:
+        tracer = telemetry.tracer()
+        if tracer is not None:
+            tracer.emit(
+                "sweep.point.failed",
+                point=task.point.describe(),
+                kind=task.kind,
+                error=failure.error_type,
+                attempts=failure.attempts,
+            )
         self.report.failures.append(failure)
         message = f"{failure.error_type}: {failure.message}"
         if task.kind == "precise":
@@ -766,6 +844,33 @@ class SweepEngine:
         journal.record_failed(
             task.kind, task.key, failure.error_type, failure.message, failure.attempts
         )
+
+    def _emit_summary(self, report: SweepReport) -> None:
+        """Publish the run report to the trace and metrics registry."""
+        if not telemetry.enabled():
+            return
+        registry = telemetry.metrics()
+        registry.gauge("sweep.unique_points").set(report.unique_points)
+        registry.gauge("sweep.precise_computed").set(report.precise_computed)
+        registry.gauge("sweep.technique_computed").set(report.technique_computed)
+        registry.gauge("sweep.disk_hits").set(report.disk_hits)
+        registry.gauge("sweep.failures").set(len(report.failures))
+        registry.gauge("sweep.elapsed_s").set(report.elapsed)
+        tracer = telemetry.tracer()
+        if tracer is not None:
+            tracer.emit(
+                "sweep.summary",
+                elapsed_s=round(report.elapsed, 6),
+                unique_points=report.unique_points,
+                baselines=report.unique_baselines,
+                precise_computed=report.precise_computed,
+                technique_computed=report.technique_computed,
+                disk_hits=report.disk_hits,
+                retried=report.retried_attempts,
+                timeouts=report.timeouts,
+                pool_rebuilds=report.pool_rebuilds,
+                failed=len(report.failures),
+            )
 
     # -- signals ---------------------------------------------------------- #
 
@@ -816,3 +921,19 @@ def execute_points(points: Iterable[SweepPoint], jobs: int = 1, **kwargs) -> Swe
     """Convenience wrapper: one engine, one execution."""
     engine = SweepEngine(jobs=jobs, **kwargs)
     return engine.execute(points)
+
+
+def execute_point(point: SweepPoint):
+    """Compute one point in-process, warming the result caches.
+
+    The :meth:`repro.experiments.common.ExperimentDriver.run_point`
+    implementation: same compute (and cache/telemetry) path as a sweep
+    worker, minus the supervision envelope. Returns the
+    :class:`~repro.experiments.common.PreciseReference` or
+    :class:`~repro.experiments.common.TechniqueResult`.
+    """
+    if point.is_technique:
+        _, result, _ = _run_technique_worker(point)
+    else:
+        _, result, _ = _run_precise_worker(point)
+    return result

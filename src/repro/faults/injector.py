@@ -31,6 +31,7 @@ import os
 import time
 from typing import Optional
 
+from repro import telemetry
 from repro.errors import FaultInjectionError, WorkerCrashError
 from repro.faults import spec as spec_mod
 from repro.faults.memory import INJECT_ENV
@@ -79,6 +80,14 @@ def before_point(
         if not clause.matches(point_kind, workload, mode, seed, small, config):
             continue
         description = f"injected {clause.kind} at {workload}/{mode or 'precise'}"
+        tracer = telemetry.tracer()
+        if tracer is not None:
+            tracer.emit(
+                "fault.engine",
+                kind=clause.kind,
+                point=f"{workload}/{mode or 'precise'}/seed={seed}",
+                attempt=attempt,
+            )
         if clause.kind == "crash":
             if _in_worker_process():
                 os._exit(CRASH_EXIT_STATUS)

@@ -33,6 +33,7 @@ from repro.mem.dram import DRAMModel
 from repro.noc.network import MeshNetwork
 from repro.fullsystem.config import FullSystemConfig
 from repro.sim.trace import LoadEvent, Trace
+from repro.telemetry.registry import safe_ratio
 
 Number = Union[int, float]
 
@@ -61,9 +62,7 @@ class FullSystemResult:
         """Mean latency over *all* raw misses; approximated misses count as
         zero, which is exactly how the paper's 'average L1 miss latency'
         falls by 41 % under LVA."""
-        if self.raw_misses == 0:
-            return 0.0
-        return self.total_miss_latency / self.raw_misses
+        return safe_ratio(self.total_miss_latency, self.raw_misses)
 
     @property
     def miss_edp(self) -> float:
@@ -73,15 +72,13 @@ class FullSystemResult:
 
     def speedup_over(self, baseline: "FullSystemResult") -> float:
         """Relative speedup versus a baseline replay (0.085 = 8.5 %)."""
-        if self.cycles == 0:
-            return 0.0
-        return baseline.cycles / self.cycles - 1.0
+        return safe_ratio(baseline.cycles, self.cycles, default=1.0) - 1.0
 
     def energy_savings_over(self, baseline: "FullSystemResult") -> float:
         """Fractional dynamic-energy savings versus a baseline replay."""
-        if baseline.energy.total_nj == 0:
-            return 0.0
-        return 1.0 - self.energy.total_nj / baseline.energy.total_nj
+        return 1.0 - safe_ratio(
+            self.energy.total_nj, baseline.energy.total_nj, default=1.0
+        )
 
 
 class _PendingTraining:

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Set
 
+from repro.telemetry.registry import safe_ratio
+
 
 @dataclass(slots=True)
 class SimulationStats:
@@ -48,30 +50,22 @@ class SimulationStats:
     @property
     def mpki(self) -> float:
         """Effective misses per kilo-instruction."""
-        if self.instructions == 0:
-            return 0.0
-        return 1000.0 * self.effective_misses / self.instructions
+        return safe_ratio(self.effective_misses, self.instructions, scale=1000.0)
 
     @property
     def raw_mpki(self) -> float:
         """True miss MPKI, ignoring coverage (the precise-execution figure)."""
-        if self.instructions == 0:
-            return 0.0
-        return 1000.0 * self.raw_misses / self.instructions
+        return safe_ratio(self.raw_misses, self.instructions, scale=1000.0)
 
     @property
     def fetches_per_kilo_instruction(self) -> float:
         """Blocks fetched into L1 per kilo-instruction (energy proxy)."""
-        if self.instructions == 0:
-            return 0.0
-        return 1000.0 * self.fetches / self.instructions
+        return safe_ratio(self.fetches, self.instructions, scale=1000.0)
 
     @property
     def coverage(self) -> float:
         """Fraction of raw misses covered by the technique."""
-        if self.raw_misses == 0:
-            return 0.0
-        return self.covered_misses / self.raw_misses
+        return safe_ratio(self.covered_misses, self.raw_misses)
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict summary for reports."""

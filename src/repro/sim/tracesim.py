@@ -33,6 +33,7 @@ from repro.prefetch.ghb import GHBPrefetcher
 from repro.sim.frontend import MemoryFrontend
 from repro.sim.stats import SimulationStats
 from repro.sim.trace import TraceRecorder
+from repro.telemetry import sim_hook
 
 Number = Union[int, float]
 
@@ -73,6 +74,9 @@ class TraceSimulator(MemoryFrontend):
         # case; the miss path pays one is-None test). Built per simulator
         # so the seeded fault pattern is deterministic per run.
         self._mem_faults = build_memory_model()
+        # Telemetry hook (None in the common disabled case; the hot path
+        # pays one is-None test per load, same idiom as the fault model).
+        self._tel = sim_hook()
 
         config = approximator_config or ApproximatorConfig()
         if mode is Mode.LVA:
@@ -100,6 +104,8 @@ class TraceSimulator(MemoryFrontend):
         if approximable:
             self.stats.approx_loads += 1
             self.stats.static_approx_pcs.add(pc)
+        if self._tel is not None:
+            self._tel.on_load(self.stats)
 
         self._tick_value_delay()
 
@@ -118,6 +124,8 @@ class TraceSimulator(MemoryFrontend):
             actual, flipped = self._mem_faults.corrupt_value(actual, is_float)
             if flipped:
                 self.stats.value_bit_flips += 1
+                if self._tel is not None:
+                    self._tel.on_fault("value_bit_flip", addr)
 
         if self.mode is Mode.PREFETCH:
             self._fetch(addr)
@@ -142,6 +150,8 @@ class TraceSimulator(MemoryFrontend):
         self, pc: int, addr: int, actual: Number, is_float: bool
     ) -> Number:
         decision = self.approximator.on_miss(pc, is_float)
+        if self._tel is not None:
+            self._tel.on_decision(pc, addr, decision.approximated, decision.fetch)
         if decision.fetch:
             # A dropped fetch means the block never arrives: no training.
             if self._fetch(addr):
@@ -187,6 +197,8 @@ class TraceSimulator(MemoryFrontend):
         """Fetch a block into the L1; False when an injected fault drops it."""
         if self._mem_faults is not None and self._mem_faults.drop_fetch():
             self.stats.fetches_dropped += 1
+            if self._tel is not None:
+                self._tel.on_fault("fetch_drop", addr)
             return False
         self.stats.fetches += 1
         if prefetched:
@@ -209,4 +221,6 @@ class TraceSimulator(MemoryFrontend):
             for token, actual in self._delay.drain():
                 self._train(token, actual)
         self.stats.instructions = self.instructions
+        if self._tel is not None:
+            self._tel.finish(self.stats)
         return self.stats

@@ -1,0 +1,243 @@
+"""Typed metrics registry: counters, gauges and histograms.
+
+Every observable quantity in the library flows through one
+:class:`MetricsRegistry` instead of each subsystem inventing its own
+dataclass-and-properties idiom. Metrics have hierarchical dotted names
+(``sim.l1.miss``, ``lva.confidence.promote``, ``sweep.point.wall_s``)
+and exactly one of three semantics:
+
+* :class:`Counter` — monotonically increasing event count;
+* :class:`Gauge` — last-written value (end-of-run totals, ratios);
+* :class:`Histogram` — distribution summary (count/total/min/max/mean).
+
+The registry also supports **interval snapshots**: :meth:`MetricsRegistry
+.mark_interval` records the counter deltas since the previous mark, so
+MPKI or coverage can be reported per instruction-window instead of only
+end-of-run. The recorded intervals always sum back to the counters'
+totals — a property the telemetry test suite pins.
+
+:func:`safe_ratio` is the single zero-denominator guard used by every
+``*Stats`` ratio property in the simulator (it used to be copy-pasted
+per property).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import fields, is_dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ConfigurationError
+
+Number = Union[int, float]
+
+#: Hierarchical metric names: dot-separated lowercase segments.
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+
+def safe_ratio(
+    numerator: Number,
+    denominator: Number,
+    scale: float = 1.0,
+    default: float = 0.0,
+) -> float:
+    """``scale * numerator / denominator``, or ``default`` when it is undefined.
+
+    The single source of truth for every "guard the zero denominator"
+    ratio in the stats layer: MPKI (``scale=1000``), coverage, mean miss
+    latency, speedups. A NaN numerator or denominator propagates as NaN
+    (FAILED sweep cells must stay FAILED, not turn into ``default``).
+    """
+    if denominator != denominator or numerator != numerator:
+        return float("nan")
+    if not denominator:
+        return default
+    return scale * numerator / denominator
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def add(self, amount: Number = 1) -> None:
+        """Increment by ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (add({amount!r}))"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: Number) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """A streaming distribution summary: count, total, min, max, mean."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return safe_ratio(self.total, self.count)
+
+
+class MetricsRegistry:
+    """Process-wide namespace of named metrics.
+
+    Accessors are get-or-create: asking twice for the same name returns
+    the same object, and asking for an existing name with a different
+    kind raises — one name, one semantics.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+        #: Counter values at the last interval mark (for delta snapshots).
+        self._interval_base: Dict[str, Number] = {}
+        #: Recorded interval snapshots, in order.
+        self.intervals: List[Dict[str, object]] = []
+
+    # -- creation -------------------------------------------------------- #
+
+    def _get(self, name: str, kind: type) -> object:
+        if not _NAME_RE.match(name):
+            raise ConfigurationError(
+                f"invalid metric name {name!r} (want dotted lowercase segments, "
+                "e.g. 'sim.l1.miss')"
+            )
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+            return metric
+        if type(metric) is not kind:
+            raise ConfigurationError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        return self._get(name, Histogram)  # type: ignore[return-value]
+
+    # -- reading --------------------------------------------------------- #
+
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat name -> value view; histograms expand to summary keys."""
+        out: Dict[str, float] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[f"{name}.count"] = float(metric.count)
+                out[f"{name}.total"] = metric.total
+                out[f"{name}.mean"] = metric.mean
+                if metric.count:
+                    out[f"{name}.min"] = metric.minimum
+                    out[f"{name}.max"] = metric.maximum
+            else:
+                out[name] = float(metric.value)  # type: ignore[attr-defined]
+        return out
+
+    # -- interval snapshots ---------------------------------------------- #
+
+    def mark_interval(self, label: Optional[str] = None) -> Dict[str, object]:
+        """Record counter deltas since the previous mark.
+
+        Returns (and appends to :attr:`intervals`) a snapshot mapping
+        every counter name to its increase since the last mark, plus the
+        current value of every gauge. Summing a counter's column across
+        all marks (after a final mark) reproduces its total.
+        """
+        snapshot: Dict[str, object] = {}
+        if label is not None:
+            snapshot["label"] = label
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                base = self._interval_base.get(name, 0)
+                snapshot[name] = metric.value - base
+                self._interval_base[name] = metric.value
+            elif isinstance(metric, Gauge):
+                snapshot[name] = metric.value
+        self.intervals.append(snapshot)
+        return snapshot
+
+    def reset(self) -> None:
+        """Drop every metric and recorded interval (tests, new runs)."""
+        self._metrics.clear()
+        self._interval_base.clear()
+        self.intervals.clear()
+
+
+def publish_stats(registry: MetricsRegistry, stats: object, prefix: str) -> List[str]:
+    """Publish a ``*Stats`` dataclass's fields as gauges under ``prefix``.
+
+    The bridge between the simulator's hot-path-friendly counter
+    dataclasses and the registry: numeric fields become gauges named
+    ``<prefix>.<field>``; set-valued fields publish their cardinality.
+    Returns the metric names written.
+    """
+    if not is_dataclass(stats) or isinstance(stats, type):
+        raise ConfigurationError(
+            f"publish_stats expects a dataclass instance, got {stats!r}"
+        )
+    written: List[str] = []
+    for spec in fields(stats):
+        value = getattr(stats, spec.name)
+        if isinstance(value, bool):
+            value = int(value)
+        if isinstance(value, (set, frozenset)):
+            value = len(value)
+        if not isinstance(value, (int, float)):
+            continue
+        name = f"{prefix}.{spec.name}"
+        registry.gauge(name).set(value)
+        written.append(name)
+    return written

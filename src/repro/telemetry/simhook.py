@@ -1,0 +1,124 @@
+"""The simulator-side telemetry hook.
+
+Sim packages are forbidden from reading clocks or doing I/O directly
+(the LVA001 determinism rule), so the simulator holds a single
+``_tel`` attribute that is either ``None`` (telemetry disabled — the
+hot path pays one is-None test, the same idiom as the fault model) or a
+:class:`SimTelemetry` instance whose methods do all registry/trace work
+over here in the telemetry package.
+
+:class:`SimTelemetry` maintains the instruction-window **interval
+snapshots**: every ``interval`` instructions it feeds the deltas of the
+core :class:`~repro.sim.stats.SimulationStats` counters into the metrics
+registry (``sim.instructions``, ``sim.l1.miss``, ``sim.lva.covered``,
+``sim.l1.fetch``) and records an interval mark, so MPKI and coverage are
+available per window, not only end-of-run. Approximator decisions are
+traced through a :class:`~repro.telemetry.tracing.SampledEmitter` —
+never one record per load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.telemetry.registry import MetricsRegistry, publish_stats, safe_ratio
+from repro.telemetry.tracing import SampledEmitter, TraceWriter
+
+#: SimulationStats counter -> registry counter published per window.
+_WINDOW_COUNTERS = (
+    ("instructions", "sim.instructions"),
+    ("loads", "sim.loads"),
+    ("raw_misses", "sim.l1.miss"),
+    ("covered_misses", "sim.lva.covered"),
+    ("fetches", "sim.l1.fetch"),
+)
+
+
+class SimTelemetry:
+    """Per-simulator telemetry sink; every method is cheap or sampled."""
+
+    __slots__ = (
+        "registry",
+        "tracer",
+        "interval",
+        "_next_mark",
+        "_window",
+        "_last",
+        "_decisions",
+    )
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        tracer: Optional[TraceWriter] = None,
+        interval: int = 100_000,
+        sample: int = 1024,
+    ) -> None:
+        self.registry = registry
+        self.tracer = tracer
+        self.interval = max(1, int(interval))
+        self._next_mark = self.interval
+        self._window = 0
+        self._last: Dict[str, int] = {}
+        self._decisions: Optional[SampledEmitter] = None
+        if tracer is not None:
+            self._decisions = SampledEmitter(tracer, "lva.decision", sample)
+
+    # -- hot-path entry points (guarded by `is not None` at the caller) -- #
+
+    def on_load(self, stats: object) -> None:
+        """Per-load hook: records an interval mark at window boundaries."""
+        if stats.instructions >= self._next_mark:  # type: ignore[attr-defined]
+            self._mark(stats)
+
+    def on_decision(
+        self, pc: int, addr: int, approximated: bool, fetched: bool
+    ) -> None:
+        """Approximator decision, traced at the configured sample rate."""
+        if self._decisions is not None:
+            self._decisions.emit(
+                pc=pc, addr=addr, approximated=approximated, fetched=fetched
+            )
+
+    def on_fault(self, kind: str, addr: int) -> None:
+        """An injected memory fault fired inside the hierarchy."""
+        if self.tracer is not None:
+            self.tracer.emit("fault.memory", kind=kind, addr=addr)
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    def _mark(self, stats: object) -> None:
+        for field, metric in _WINDOW_COUNTERS:
+            value = getattr(stats, field)
+            delta = value - self._last.get(field, 0)
+            if delta > 0:
+                self.registry.counter(metric).add(delta)
+            self._last[field] = value
+        self._window += 1
+        snapshot = self.registry.mark_interval(label=f"window{self._window}")
+        instr = snapshot.get("sim.instructions", 0)
+        misses = snapshot.get("sim.l1.miss", 0)
+        covered = snapshot.get("sim.lva.covered", 0)
+        self.registry.gauge("sim.window.mpki").set(
+            safe_ratio(misses - covered, instr, scale=1000.0)  # type: ignore[operator]
+        )
+        self.registry.gauge("sim.window.coverage").set(
+            safe_ratio(covered, misses)  # type: ignore[arg-type]
+        )
+        self._next_mark = (
+            getattr(stats, "instructions") // self.interval + 1
+        ) * self.interval
+
+    def finish(self, stats: object) -> None:
+        """Final mark + end-of-run gauges; called from ``finish()``."""
+        self._mark(stats)
+        publish_stats(self.registry, stats, "sim.total")
+        self.registry.gauge("sim.mpki").set(stats.mpki)  # type: ignore[attr-defined]
+        self.registry.gauge("sim.coverage").set(stats.coverage)  # type: ignore[attr-defined]
+        if self.tracer is not None:
+            self.tracer.emit(
+                "sim.finish",
+                instructions=stats.instructions,  # type: ignore[attr-defined]
+                mpki=stats.mpki,  # type: ignore[attr-defined]
+                coverage=stats.coverage,  # type: ignore[attr-defined]
+            )

@@ -115,21 +115,29 @@ class TestCLI:
         target.write_text(BAD_KEY)
         assert main([str(target), "--ignore", "lva002", "--no-summary"]) == 0
 
-    def test_list_rules_prints_all_five(self, capsys):
+    def test_list_rules_prints_all(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("LVA001", "LVA002", "LVA003", "LVA004", "LVA005"):
+        for rule_id in (
+            "LVA001",
+            "LVA002",
+            "LVA003",
+            "LVA004",
+            "LVA005",
+            "LVA006",
+        ):
             assert rule_id in out
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_rules_registered(self):
         assert list(rule_ids()) == [
             "LVA001",
             "LVA002",
             "LVA003",
             "LVA004",
             "LVA005",
+            "LVA006",
         ]
 
     def test_violation_render_format(self):

@@ -1,0 +1,22 @@
+"""Telemetry tests run with a clean env and per-process state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_hermetic(monkeypatch):
+    """No inherited telemetry env; cached state dropped before and after."""
+    for env in (
+        telemetry.TELEMETRY_ENV,
+        telemetry.TRACE_ENV,
+        telemetry.INTERVAL_ENV,
+        telemetry.SAMPLE_ENV,
+    ):
+        monkeypatch.delenv(env, raising=False)
+    telemetry.shutdown()
+    yield
+    telemetry.shutdown()

@@ -1,0 +1,89 @@
+"""Multi-process telemetry: env inheritance and atomic trace merging."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.tracing import read_trace
+
+
+def _emit_from_worker(index: int) -> int:
+    """Pool worker: resolve the tracer from the inherited env and emit."""
+    writer = telemetry.tracer()
+    assert writer is not None and writer.active
+    for i in range(50):
+        writer.emit("worker.tick", worker=index, i=i)
+    # Deliberately no close(): the writer is cached per process and a
+    # reused pool worker must get the same still-active instance back.
+    import os
+
+    return os.getpid()
+
+
+class TestPoolWorkers:
+    def test_workers_inherit_env_and_interleave_whole_lines(self, tmp_path):
+        trace = tmp_path / "pool.jsonl"
+        telemetry.configure(on=True, trace=trace)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            pids = set(pool.map(_emit_from_worker, range(4)))
+        telemetry.shutdown()
+        records = read_trace(trace)  # strict parse: corruption would raise
+        assert len(records) == 200
+        assert {r["pid"] for r in records} <= pids
+        per_worker = {}
+        for record in records:
+            per_worker.setdefault(record["worker"], []).append(record["i"])
+        # Each worker's own records stay in program order (O_APPEND).
+        for indices in per_worker.values():
+            assert indices == sorted(indices)
+
+
+@pytest.mark.slow
+class TestSweepEndToEnd:
+    def test_traced_sweep_spans_cover_engine_wall(self, tmp_path):
+        """The acceptance property: point spans sum to ~the engine wall."""
+        trace = tmp_path / "trace.jsonl"
+        profile = tmp_path / "profile.json"
+        repo = Path(__file__).resolve().parent.parent.parent
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments",
+                "fig13",
+                "--small",
+                "--no-cache",
+                "--jobs",
+                "1",
+                "--retries",  # opts into the sweep engine at jobs=1
+                "1",
+                "--trace",
+                str(trace),
+                "--profile-out",
+                str(profile),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=600,
+            cwd=repo,
+        )
+        assert result.returncode == 0, result.stderr
+
+        from repro.telemetry.cli import check_wall, main, summarize
+        from repro.telemetry.profiling import validate_speedscope
+
+        records = read_trace(trace)
+        summary = summarize(records)
+        lifecycle = summary["point_lifecycle"]
+        assert lifecycle["queued"] == lifecycle["done"] > 0
+        assert summary["engine_wall_s"] > 0
+        assert check_wall(summary, tolerance_pct=5) is None
+        validate_speedscope(json.loads(profile.read_text()))
+        assert main([str(trace), "--check-wall", "5"]) == 0

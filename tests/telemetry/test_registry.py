@@ -1,0 +1,152 @@
+"""Metrics registry semantics: types, names, intervals, publishing."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    publish_stats,
+    safe_ratio,
+)
+
+
+class TestSafeRatio:
+    def test_plain_ratio(self):
+        assert safe_ratio(3, 4) == 0.75
+
+    def test_scale(self):
+        assert safe_ratio(5, 1000, scale=1000.0) == 5.0
+
+    def test_zero_denominator_returns_default(self):
+        assert safe_ratio(3, 0) == 0.0
+        assert safe_ratio(3, 0, default=1.0) == 1.0
+
+    def test_nan_propagates_over_default(self):
+        assert math.isnan(safe_ratio(float("nan"), 5))
+        assert math.isnan(safe_ratio(5, float("nan"), default=1.0))
+
+
+class TestCounters:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("sim.loads") is registry.counter("sim.loads")
+
+    def test_add_accumulates(self):
+        counter = MetricsRegistry().counter("sim.loads")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_counters_cannot_decrease(self):
+        counter = MetricsRegistry().counter("sim.loads")
+        with pytest.raises(ConfigurationError):
+            counter.add(-1)
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.loads")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("sim.loads")
+
+    def test_invalid_name_raises(self):
+        registry = MetricsRegistry()
+        for bad in ("Sim.Loads", "sim..loads", "", "sim/loads", ".sim"):
+            with pytest.raises(ConfigurationError):
+                registry.counter(bad)
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_last_value_wins(self):
+        gauge = MetricsRegistry().gauge("sim.mpki")
+        gauge.set(3.5)
+        gauge.set(1.25)
+        assert gauge.value == 1.25
+
+    def test_histogram_summary(self):
+        hist = MetricsRegistry().histogram("sweep.point.wall_s")
+        for value in (1.0, 3.0, 2.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.minimum == 1.0
+        assert hist.maximum == 3.0
+        assert hist.mean == 2.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert MetricsRegistry().histogram("x").mean == 0.0
+
+    def test_snapshot_expands_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.loads").add(7)
+        registry.gauge("sim.mpki").set(2.5)
+        registry.histogram("wall").observe(4.0)
+        snap = registry.snapshot()
+        assert snap["sim.loads"] == 7.0
+        assert snap["sim.mpki"] == 2.5
+        assert snap["wall.count"] == 1.0
+        assert snap["wall.total"] == 4.0
+        assert snap["wall.mean"] == 4.0
+        assert snap["wall.min"] == 4.0
+        assert snap["wall.max"] == 4.0
+
+
+class TestIntervals:
+    def test_deltas_sum_to_counter_totals(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("sim.l1.miss")
+        for chunk in (3, 0, 5, 2):
+            counter.add(chunk)
+            registry.mark_interval()
+        assert sum(s["sim.l1.miss"] for s in registry.intervals) == counter.value
+
+    def test_mark_records_label_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.gauge("sim.window.mpki").set(1.5)
+        snap = registry.mark_interval(label="window0")
+        assert snap["label"] == "window0"
+        assert snap["sim.window.mpki"] == 1.5
+        assert registry.intervals == [snap]
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.loads").add(2)
+        registry.mark_interval()
+        registry.reset()
+        assert registry.names() == []
+        assert registry.intervals == []
+        assert registry.counter("sim.loads").value == 0
+
+
+class TestPublishStats:
+    def test_numeric_bool_and_set_fields(self):
+        @dataclass
+        class FakeStats:
+            instructions: int = 42
+            mpki: float = 1.5
+            warmed: bool = True
+            pcs: set = field(default_factory=lambda: {1, 2, 3})
+            note: str = "skipped"
+
+        registry = MetricsRegistry()
+        written = publish_stats(registry, FakeStats(), "sim.total")
+        snap = registry.snapshot()
+        assert snap["sim.total.instructions"] == 42.0
+        assert snap["sim.total.mpki"] == 1.5
+        assert snap["sim.total.warmed"] == 1.0
+        assert snap["sim.total.pcs"] == 3.0
+        assert "sim.total.note" not in snap
+        assert set(written) == {
+            "sim.total.instructions",
+            "sim.total.mpki",
+            "sim.total.warmed",
+            "sim.total.pcs",
+        }
+
+    def test_rejects_non_dataclass(self):
+        with pytest.raises(ConfigurationError):
+            publish_stats(MetricsRegistry(), {"x": 1}, "sim")

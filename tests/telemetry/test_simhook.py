@@ -1,0 +1,137 @@
+"""SimTelemetry end-to-end: hooks, windows, env configuration."""
+
+from __future__ import annotations
+
+import os
+
+from repro import telemetry
+from repro.sim.tracesim import Mode, TraceSimulator
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.simhook import SimTelemetry
+from repro.telemetry.tracing import TraceWriter, read_trace
+from repro.workloads.registry import get_workload
+
+
+def _run_canneal(mode: Mode = Mode.LVA) -> TraceSimulator:
+    sim = TraceSimulator(mode)
+    get_workload("canneal", small=True).execute(sim, 0)
+    sim.finish()
+    return sim
+
+
+class TestDisabled:
+    def test_sim_hook_is_none_by_default(self):
+        assert not telemetry.enabled()
+        assert telemetry.sim_hook() is None
+
+    def test_simulator_hook_attribute_is_none(self):
+        sim = TraceSimulator(Mode.LVA)
+        assert sim._tel is None
+
+    def test_disabled_run_touches_no_registry(self):
+        _run_canneal()
+        # The registry is only materialized on demand; a disabled run
+        # must not have created any metric.
+        assert telemetry.metrics().names() == []
+
+
+class TestEnabled:
+    def test_configure_enables_and_publishes_totals(self):
+        telemetry.configure(on=True, snapshot_interval=1000)
+        sim = _run_canneal()
+        assert isinstance(sim._tel, SimTelemetry)
+        snap = telemetry.metrics().snapshot()
+        assert snap["sim.total.instructions"] == sim.stats.instructions
+        assert snap["sim.total.raw_misses"] == sim.stats.raw_misses
+        assert snap["sim.mpki"] == sim.stats.mpki
+        assert snap["sim.coverage"] == sim.stats.coverage
+        telemetry.configure(on=False)
+        assert not telemetry.enabled()
+        assert os.environ.get(telemetry.TELEMETRY_ENV) is None
+
+    def test_interval_deltas_sum_to_run_totals(self):
+        telemetry.configure(on=True, snapshot_interval=1000)
+        sim = _run_canneal()
+        registry = telemetry.metrics()
+        assert len(registry.intervals) > 1
+        for field, metric in (
+            ("instructions", "sim.instructions"),
+            ("raw_misses", "sim.l1.miss"),
+            ("covered_misses", "sim.lva.covered"),
+            ("fetches", "sim.l1.fetch"),
+        ):
+            total = sum(s.get(metric, 0) for s in registry.intervals)
+            assert total == getattr(sim.stats, field), metric
+
+    def test_trace_records_decisions_and_finish(self, tmp_path):
+        trace = tmp_path / "sim.jsonl"
+        telemetry.configure(on=True, trace=trace, sample=1)
+        _run_canneal()
+        telemetry.shutdown()
+        records = read_trace(trace)
+        events = {r["ev"] for r in records}
+        assert "lva.decision" in events
+        assert "sim.finish" in events
+        decision = next(r for r in records if r["ev"] == "lva.decision")
+        assert {"pc", "addr", "approximated", "fetched"} <= decision.keys()
+
+    def test_sampling_thins_decision_records(self, tmp_path):
+        dense_path = tmp_path / "dense.jsonl"
+        telemetry.configure(on=True, trace=dense_path, sample=1)
+        _run_canneal()
+        telemetry.shutdown()
+        dense = sum(
+            1 for r in read_trace(dense_path) if r["ev"] == "lva.decision"
+        )
+
+        sparse_path = tmp_path / "sparse.jsonl"
+        telemetry.configure(on=True, trace=sparse_path, sample=64)
+        _run_canneal()
+        telemetry.shutdown()
+        sparse = sum(
+            1 for r in read_trace(sparse_path) if r["ev"] == "lva.decision"
+        )
+        assert 0 < sparse < dense
+
+
+class TestWindows:
+    def test_mark_sets_window_gauges(self):
+        registry = MetricsRegistry()
+        hook = SimTelemetry(registry, interval=100)
+
+        class FakeStats:
+            instructions = 100
+            loads = 40
+            raw_misses = 10
+            covered_misses = 5
+            fetches = 8
+
+        hook.on_load(FakeStats)
+        snap = registry.snapshot()
+        assert snap["sim.window.mpki"] == 50.0  # (10-5)/100 * 1000
+        assert snap["sim.window.coverage"] == 0.5
+        assert registry.intervals[0]["label"] == "window1"
+
+    def test_next_mark_advances_past_current_window(self):
+        hook = SimTelemetry(MetricsRegistry(), interval=100)
+
+        class FakeStats:
+            instructions = 250
+            loads = 0
+            raw_misses = 0
+            covered_misses = 0
+            fetches = 0
+
+        hook.on_load(FakeStats)
+        assert hook._next_mark == 300
+
+    def test_fault_hook_emits_trace_event(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = TraceWriter(path)
+        hook = SimTelemetry(MetricsRegistry(), tracer=writer)
+        hook.on_fault("value_bit_flip", addr=4096)
+        writer.close()
+        (record,) = read_trace(path)
+        assert record["ev"] == "fault.memory"
+        assert record["kind"] == "value_bit_flip"
+        assert record["addr"] == 4096

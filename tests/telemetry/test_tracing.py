@@ -1,0 +1,139 @@
+"""Trace layer: JSONL round-trip, spans, sampling, strict parsing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.tracing import (
+    SampledEmitter,
+    TraceError,
+    TraceWriter,
+    iter_spans,
+    read_trace,
+)
+
+
+class TestRoundTrip:
+    def test_emit_and_read_back(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as writer:
+            writer.emit("sweep.point.queued", point="p0")
+            writer.emit("fault.memory", kind="bit_flip", addr=64)
+        records = read_trace(path)
+        assert [r["ev"] for r in records] == ["sweep.point.queued", "fault.memory"]
+        for record in records:
+            assert isinstance(record["t"], int)
+            assert isinstance(record["pid"], int)
+        assert records[0]["point"] == "p0"
+        assert records[1]["addr"] == 64
+
+    def test_span_records_duration(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as writer:
+            with writer.span("sweep.point", point="p0"):
+                pass
+        (record,) = read_trace(path)
+        assert record["ev"] == "span"
+        assert record["name"] == "sweep.point"
+        assert record["point"] == "p0"
+        assert record["dur_ns"] >= 0
+
+    def test_span_marks_exceptions(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path)
+        with pytest.raises(ValueError):
+            with writer.span("sweep.point"):
+                raise ValueError("boom")
+        writer.close()
+        (record,) = read_trace(path)
+        assert record["error"] == "ValueError"
+
+    def test_append_only_across_writers(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as first:
+            first.emit("a")
+        with TraceWriter(path) as second:
+            second.emit("b")
+        assert [r["ev"] for r in read_trace(path)] == ["a", "b"]
+
+    def test_unwritable_path_degrades_with_warning(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("occupied")
+        with pytest.warns(RuntimeWarning, match="tracing disabled"):
+            writer = TraceWriter(target / "trace.jsonl")
+        assert not writer.active
+        writer.emit("dropped")  # must be a silent no-op
+        writer.close()
+
+
+class TestSampling:
+    def test_rate_one_records_everything(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as writer:
+            emitter = SampledEmitter(writer, "lva.decision", rate=1)
+            for pc in range(5):
+                emitter.emit(pc=pc)
+        assert len(read_trace(path)) == 5
+
+    def test_rate_n_records_every_nth_with_drop_count(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as writer:
+            emitter = SampledEmitter(writer, "lva.decision", rate=4)
+            for pc in range(12):
+                emitter.emit(pc=pc)
+        records = read_trace(path)
+        assert len(records) == 3
+        assert [r["pc"] for r in records] == [3, 7, 11]
+        assert all(r["sampled"] == 4 and r["dropped"] == 3 for r in records)
+
+    def test_rejects_zero_rate(self, tmp_path):
+        writer = TraceWriter(tmp_path / "t.jsonl")
+        with pytest.raises(ValueError):
+            SampledEmitter(writer, "x", rate=0)
+        writer.close()
+
+
+class TestStrictParsing:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot read"):
+            read_trace(tmp_path / "absent.jsonl")
+
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"ev":"a","t":1,"pid":2}\n{broken\n')
+        with pytest.raises(TraceError, match="invalid JSON"):
+            read_trace(path)
+
+    def test_missing_required_keys(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps({"ev": "a", "t": 1}) + "\n")
+        with pytest.raises(TraceError, match="missing keys"):
+            read_trace(path)
+
+    def test_non_object_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(TraceError, match="not an object"):
+            read_trace(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('\n{"ev":"a","t":1,"pid":2}\n\n')
+        assert len(read_trace(path)) == 1
+
+
+class TestIterSpans:
+    def test_filters_by_name(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as writer:
+            with writer.span("sweep.point"):
+                pass
+            with writer.span("experiment"):
+                pass
+            writer.emit("not.a.span")
+        records = read_trace(path)
+        assert len(list(iter_spans(records))) == 2
+        (only,) = iter_spans(records, name="experiment")
+        assert only["name"] == "experiment"

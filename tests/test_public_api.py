@@ -15,6 +15,7 @@ from repro.errors import (
 )
 
 SUBPACKAGES = [
+    "repro.telemetry",
     "repro.core",
     "repro.mem",
     "repro.prefetch",
@@ -56,6 +57,125 @@ class TestExceptionHierarchy:
 
         with pytest.raises(ReproError):
             ApproximatorConfig(table_entries=7)
+
+
+class TestFacade:
+    """Pin the repro.api surface: names, builder chain, RunResult shape."""
+
+    FACADE_NAMES = [
+        "RunResult",
+        "Simulation",
+        "SimulationBuilder",
+        "audit",
+        "build_approximator",
+        "lva",
+        "replay",
+        "run_experiment",
+    ]
+
+    @pytest.mark.parametrize("name", FACADE_NAMES)
+    def test_reexported_from_repro(self, name):
+        import repro.api
+
+        assert hasattr(repro.api, name)
+        assert hasattr(repro, name)
+        assert name in repro.__all__
+
+    def test_lva_maps_short_names(self):
+        from repro.api import lva
+
+        config = lva(window=0.2, degree=4, ghb=2, lhb=8, table_entries=512)
+        assert config.confidence_window == 0.2
+        assert config.approximation_degree == 4
+        assert config.ghb_size == 2
+        assert config.lhb_size == 8
+        assert config.table_entries == 512
+
+    def test_lva_rejects_unknown_field(self):
+        from repro.api import lva
+
+        with pytest.raises(ConfigurationError):
+            lva(not_a_field=1)
+
+    def test_builder_requires_workload(self):
+        from repro.api import Simulation
+
+        with pytest.raises(ConfigurationError):
+            Simulation.builder().run()
+
+    def test_builder_methods_chain(self):
+        from repro.api import Simulation, SimulationBuilder
+
+        builder = Simulation.builder()
+        assert isinstance(builder, SimulationBuilder)
+        for call in (
+            lambda: builder.workload("canneal", small=True),
+            lambda: builder.seed(1),
+            lambda: builder.approximator(),
+            lambda: builder.precise(),
+            lambda: builder.compare_precise(),
+            lambda: builder.record_trace(),
+        ):
+            assert call() is builder
+
+    def test_run_returns_frozen_result(self):
+        import dataclasses
+
+        from repro.api import RunResult, Simulation, lva
+
+        result = (
+            Simulation.builder()
+            .workload("canneal", small=True)
+            .approximator(lva(degree=4))
+            .compare_precise()
+            .run()
+        )
+        assert isinstance(result, RunResult)
+        assert result.workload == "canneal"
+        assert result.mode == "lva"
+        assert result.instructions > 0
+        assert 0.0 <= result.coverage <= 1.0
+        assert result.output_error is not None
+        assert result.stats["raw_misses"] >= result.stats["covered_misses"]
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.mpki = 0.0
+        assert result.workload in result.summary()
+
+    def test_precise_mode_records_trace(self):
+        from repro.api import Simulation
+
+        result = (
+            Simulation.builder()
+            .workload("canneal", small=True)
+            .record_trace()
+            .run()
+        )
+        assert result.mode == "precise"
+        assert result.output_error is None
+        assert result.trace is not None and len(result.trace) > 0
+
+    def test_run_experiment_matches_driver(self):
+        import warnings
+
+        from repro.api import run_experiment
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = run_experiment("fig13", small=True)
+        assert result.series
+
+    def test_run_experiment_unknown_name(self):
+        from repro.api import run_experiment
+
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+    def test_audit_accepts_name(self):
+        from repro.annotations import AuditReport
+        from repro.api import audit
+
+        report = audit("canneal", small=True)
+        assert isinstance(report, AuditReport)
 
 
 class TestDocstrings:
