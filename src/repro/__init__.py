@@ -73,7 +73,7 @@ from repro.errors import (
 )
 from repro.fullsystem import FullSystemConfig, FullSystemResult, FullSystemSimulator
 from repro.sim.frontend import PreciseMemory
-from repro.sim.trace import Trace, TraceRecorder
+from repro.sim.trace import PackedTrace, Trace, TraceRecorder
 from repro.sim.tracesim import Mode, TraceSimulator
 from repro.workloads.registry import get_workload, workload_names
 
@@ -95,6 +95,7 @@ __all__ = [
     "INFINITE_WINDOW",
     "LoadValueApproximator",
     "Mode",
+    "PackedTrace",
     "PreciseMemory",
     "ReproError",
     "RunResult",

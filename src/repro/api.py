@@ -376,6 +376,13 @@ def replay(
 ) -> "FullSystemResult":
     """Replay a captured trace on the phase-2 full-system platform.
 
+    ``trace`` may be a :class:`~repro.sim.trace.Trace` or a
+    :class:`~repro.sim.trace.PackedTrace`; both replay through the packed
+    columnar hot path and produce bit-identical results. Replay is *open
+    loop* — recorded values are fed back exactly as captured — so it
+    measures platform behaviour on a fixed access stream, not live
+    output error (use :class:`Simulation` for that).
+
     ``approximate`` defaults to whether an ``approximator`` config was
     given; pass ``approximate=True`` alone for the baseline LVA config.
     """

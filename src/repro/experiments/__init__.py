@@ -26,6 +26,7 @@ from repro.experiments.common import (
     ExperimentResult,
     capture_trace,
     geometric_mean,
+    run_fullsystem_point,
     run_precise_reference,
     run_technique,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "ExperimentResult",
     "capture_trace",
     "geometric_mean",
+    "run_fullsystem_point",
     "run_precise_reference",
     "run_technique",
 ]

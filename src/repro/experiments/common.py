@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import functools
 import math
+import os
+import time
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -29,14 +32,16 @@ from typing import (
     Optional,
     Protocol,
     Tuple,
+    Union,
     runtime_checkable,
 )
 
-from repro import faults
+from repro import faults, telemetry
 from repro.core.config import ApproximatorConfig
-from repro.experiments import diskcache
+from repro.energy.model import EnergyBreakdown
+from repro.experiments import diskcache, tracestore
 from repro.fullsystem import FullSystemConfig, FullSystemResult, FullSystemSimulator
-from repro.sim.trace import Trace, TraceRecorder
+from repro.sim.trace import PackedTrace, Trace, TraceRecorder
 from repro.sim.tracesim import Mode, TraceSimulator
 from repro.workloads.registry import get_workload, workload_names
 
@@ -296,6 +301,12 @@ class ComputeCounters:
     technique_computed: int = 0
     technique_memory_hits: int = 0
     technique_disk_hits: int = 0
+    traces_captured: int = 0
+    trace_memory_hits: int = 0
+    trace_store_hits: int = 0
+    fullsystem_computed: int = 0
+    fullsystem_memory_hits: int = 0
+    fullsystem_disk_hits: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -305,6 +316,12 @@ class ComputeCounters:
             "technique_computed": self.technique_computed,
             "technique_memory_hits": self.technique_memory_hits,
             "technique_disk_hits": self.technique_disk_hits,
+            "traces_captured": self.traces_captured,
+            "trace_memory_hits": self.trace_memory_hits,
+            "trace_store_hits": self.trace_store_hits,
+            "fullsystem_computed": self.fullsystem_computed,
+            "fullsystem_memory_hits": self.fullsystem_memory_hits,
+            "fullsystem_disk_hits": self.fullsystem_disk_hits,
         }
 
     def merge(self, other: Dict[str, int]) -> None:
@@ -441,6 +458,8 @@ def is_failed(result: object) -> bool:
         return bool(result.raw.get("failed"))
     if isinstance(result, PreciseReference):
         return isinstance(result.output, dict) and "failed" in result.output
+    if isinstance(result, FullSystemResult):
+        return result.failure is not None
     return False
 
 
@@ -521,53 +540,239 @@ def run_technique(
 # Phase 2                                                               #
 # --------------------------------------------------------------------- #
 
-_TRACE_CACHE: Dict[Tuple[str, int, bool], Trace] = {}
+#: Environment variable bounding the in-process packed-trace LRU (entry
+#: count; default 4 — phase-2 figures iterate one workload at a time, so
+#: a handful of entries covers every access pattern we have).
+TRACE_LRU_ENV = "REPRO_TRACE_LRU"
+
+_TRACE_LRU_DEFAULT = 4
 
 
-def capture_trace(name: str, seed: int = 0, small: bool = False) -> Trace:
-    """Capture the 4-thread load trace of a precise phase-1 run (cached).
+def _trace_lru_capacity() -> int:
+    """The LRU bound, re-read from the environment on every eviction."""
+    try:
+        return max(1, int(os.environ.get(TRACE_LRU_ENV, _TRACE_LRU_DEFAULT)))
+    except ValueError:
+        return _TRACE_LRU_DEFAULT
+
+
+class _PackedTraceLRU:
+    """A small, bounded in-process cache of packed traces.
+
+    The persistent tier is the memory-mapped
+    :mod:`~repro.experiments.tracestore`; this layer only avoids
+    re-validating and re-opening the store entry on consecutive accesses
+    to the same trace. Bounded (unlike its unbounded dict predecessor) so
+    a multi-workload run no longer retains every trace forever.
+    """
+
+    def __init__(self) -> None:
+        self._entries: "OrderedDict[Tuple[str, int, bool], PackedTrace]" = (
+            OrderedDict()
+        )
+
+    def get(self, key: Tuple[str, int, bool]) -> Optional[PackedTrace]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: Tuple[str, int, bool], trace: PackedTrace) -> None:
+        self._entries[key] = trace
+        self._entries.move_to_end(key)
+        capacity = _trace_lru_capacity()
+        while len(self._entries) > capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+
+_TRACE_CACHE = _PackedTraceLRU()
+
+
+def trace_disk_key(name: str, seed: int, small: bool) -> str:
+    """The trace-store key of one (workload, seed, scale) capture."""
+    return tracestore.trace_key(name, seed, small, PHASE2_PARAMS.get(name))
+
+
+def capture_trace(name: str, seed: int = 0, small: bool = False) -> PackedTrace:
+    """The packed 4-thread load trace of a precise phase-1 run (cached).
 
     Full-system workloads use the :data:`PHASE2_PARAMS` input scaling, the
-    analogue of the paper switching from simlarge to simmedium.
+    analogue of the paper switching from simlarge to simmedium. Three
+    layers are consulted in order: a small in-process LRU, the
+    memory-mapped cross-process :mod:`~repro.experiments.tracestore`
+    (columns shared zero-copy between sweep workers), then the workload
+    itself is executed and the capture published to the store.
     """
     key = (name, seed, small)
     cached = _TRACE_CACHE.get(key)
     if cached is not None:
+        COMPUTE_COUNTERS.trace_memory_hits += 1
         return cached
+    store = tracestore.active_store()
+    store_key = None
+    if store is not None:
+        store_key = trace_disk_key(name, seed, small)
+        stored = store.get(store_key)
+        if stored is not None:
+            COMPUTE_COUNTERS.trace_store_hits += 1
+            _TRACE_CACHE.put(key, stored)
+            return stored
     params = PHASE2_PARAMS.get(name)
     # Traces are precise replays: always captured clean (see
     # run_precise_reference).
+    started = time.perf_counter()
     with faults.no_memory_faults():
         workload = _workload(name, small, params)
         recorder = TraceRecorder()
         sim = TraceSimulator(Mode.PRECISE, recorder=recorder)
         workload.execute(sim, seed)
         sim.finish()
-    _TRACE_CACHE[key] = recorder.trace
-    return recorder.trace
+    packed = recorder.trace.pack()
+    elapsed = time.perf_counter() - started
+    COMPUTE_COUNTERS.traces_captured += 1
+    if telemetry.enabled():
+        registry = telemetry.metrics()
+        registry.counter("trace.capture.count").add(1)
+        if elapsed > 0:
+            registry.gauge("trace.capture.events_per_s").set(len(packed) / elapsed)
+    _TRACE_CACHE.put(key, packed)
+    if store is not None:
+        store.put(store_key, packed)
+    return packed
 
 
 def run_fullsystem(
-    trace: Trace,
+    trace: Union[Trace, PackedTrace],
     approximate: bool = False,
     approximator: Optional[ApproximatorConfig] = None,
 ) -> FullSystemResult:
     """Replay a trace through the Table II platform."""
     config = FullSystemConfig(approximate=approximate, approximator=approximator)
-    return FullSystemSimulator(config).run(trace)
+    started = time.perf_counter()
+    result = FullSystemSimulator(config).run(trace)
+    if telemetry.enabled():
+        elapsed = time.perf_counter() - started
+        registry = telemetry.metrics()
+        registry.counter("trace.replay.count").add(1)
+        if elapsed > 0:
+            registry.gauge("trace.replay.events_per_s").set(len(trace) / elapsed)
+    return result
+
+
+def failed_fullsystem_result(message: str) -> FullSystemResult:
+    """A placeholder for a full-system point that exhausted its retries.
+
+    NaN timing/energy fields render as FAILED cells through the figure
+    drivers' ratio properties. In-memory backfill only — never written
+    to disk.
+    """
+    nan = float("nan")
+    return FullSystemResult(
+        cycles=nan,
+        instructions=0,
+        loads=0,
+        raw_misses=0,
+        covered_misses=0,
+        fetches=0,
+        l2_accesses=0,
+        memory_accesses=0,
+        noc_flit_hops=0,
+        approximator_accesses=0,
+        total_miss_latency=nan,
+        energy=EnergyBreakdown(),
+        core_cycles=[],
+        failure=message,
+    )
+
+
+_FULLSYSTEM_CACHE: Dict[tuple, FullSystemResult] = {}
+
+
+def fullsystem_disk_key(
+    name: str,
+    approximate: bool,
+    config: Optional[ApproximatorConfig],
+    seed: int,
+    small: bool,
+) -> str:
+    """The disk-cache key of one full-system replay point.
+
+    The trace schema version participates so replay results computed
+    from an older trace format can never outlive it.
+    """
+    return diskcache.point_key(
+        "fullsystem",
+        workload=name,
+        approximate=approximate,
+        config=config if config is not None else ApproximatorConfig(),
+        seed=seed,
+        small=small,
+        trace_schema=tracestore.TRACE_SCHEMA_VERSION,
+    )
+
+
+def run_fullsystem_point(
+    name: str,
+    approximate: bool = False,
+    approximator: Optional[ApproximatorConfig] = None,
+    seed: int = 0,
+    small: bool = False,
+) -> FullSystemResult:
+    """One cached full-system replay (capture_trace + run_fullsystem).
+
+    The phase-2 analogue of :func:`run_technique`: in-process dict, then
+    the shared disk cache, then the replay itself (whose trace comes from
+    :func:`capture_trace`'s own three layers). Deterministic, so every
+    layer returns identical data.
+    """
+    key = (name, approximate, approximator, seed, small)
+    cached = _FULLSYSTEM_CACHE.get(key)
+    if cached is not None:
+        COMPUTE_COUNTERS.fullsystem_memory_hits += 1
+        return cached
+    disk = diskcache.active_cache()
+    disk_key = None
+    if disk is not None:
+        disk_key = fullsystem_disk_key(name, approximate, approximator, seed, small)
+        stored = disk.get(disk_key)
+        if isinstance(stored, FullSystemResult):
+            COMPUTE_COUNTERS.fullsystem_disk_hits += 1
+            _FULLSYSTEM_CACHE[key] = stored
+            return stored
+    trace = capture_trace(name, seed=seed, small=small)
+    result = run_fullsystem(trace, approximate=approximate, approximator=approximator)
+    COMPUTE_COUNTERS.fullsystem_computed += 1
+    _FULLSYSTEM_CACHE[key] = result
+    if disk is not None:
+        disk.put(disk_key, result)
+    return result
 
 
 def reset_caches() -> None:
     """Drop cached references, technique results and traces — every layer.
 
-    Also clears the persistent disk cache (when enabled) and the compute
-    counters, so a reset really does force fresh simulations.
+    Also clears the persistent disk cache and trace store (when enabled)
+    and the compute counters, so a reset really does force fresh
+    simulations.
     """
     _PRECISE_CACHE.clear()
     _TECHNIQUE_CACHE.clear()
     _TRACE_CACHE.clear()
+    _FULLSYSTEM_CACHE.clear()
     disk = diskcache.active_cache()
     if disk is not None:
         disk.clear()
+    store = tracestore.active_store()
+    if store is not None:
+        store.clear()
     global COMPUTE_COUNTERS
     COMPUTE_COUNTERS = ComputeCounters()

@@ -9,17 +9,37 @@ at 4, 12.6 % at 16, up to 44.1 % for bodytrack).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Tuple
 
 from repro.core.config import ApproximatorConfig
 from repro.experiments.common import (
     BASELINE_WORKLOADS,
     ExperimentResult,
-    capture_trace,
-    run_fullsystem,
+    run_fullsystem_point,
 )
+from repro.experiments.sweep import SweepPoint, fullsystem_point
 
 DEGREES: Tuple[int, ...] = (0, 2, 4, 8, 16)
+
+
+def _config(degree: int) -> ApproximatorConfig:
+    return ApproximatorConfig(approximation_degree=degree)
+
+
+def points(small: bool = False, seed: int = 0) -> List[SweepPoint]:
+    """The sweep points :func:`run` consumes (for the parallel engine).
+
+    One precise-baseline replay plus one LVA replay per degree, per
+    workload. The engine pre-captures each workload's trace once into
+    the shared trace store, so the fan-out replays map it instead of
+    re-running the workload.
+    """
+    pts: List[SweepPoint] = []
+    for name in BASELINE_WORKLOADS:
+        pts.append(fullsystem_point(name, seed=seed, small=small))
+        for degree in DEGREES:
+            pts.append(fullsystem_point(name, _config(degree), seed=seed, small=small))
+    return pts
 
 
 def run(small: bool = False, seed: int = 0) -> ExperimentResult:
@@ -33,11 +53,15 @@ def run(small: bool = False, seed: int = 0) -> ExperimentResult:
         },
     )
     for name in BASELINE_WORKLOADS:
-        trace = capture_trace(name, seed=seed, small=small)
-        baseline = run_fullsystem(trace, approximate=False)
+        baseline = run_fullsystem_point(name, seed=seed, small=small)
         for degree in DEGREES:
-            config = ApproximatorConfig(approximation_degree=degree)
-            lva = run_fullsystem(trace, approximate=True, approximator=config)
+            lva = run_fullsystem_point(
+                name,
+                approximate=True,
+                approximator=_config(degree),
+                seed=seed,
+                small=small,
+            )
             result.add(f"speedup-approx-{degree}", name, lva.speedup_over(baseline))
             result.add(
                 f"energy-approx-{degree}", name, lva.energy_savings_over(baseline)
@@ -49,5 +73,6 @@ from repro.experiments.common import Driver, deprecated_entry
 
 #: The :class:`~repro.experiments.common.ExperimentDriver` for this
 #: experiment — the supported entry point for programmatic use.
-DRIVER = Driver(name="fig10", render_fn=run)
+DRIVER = Driver(name="fig10", render_fn=run, points_fn=points)
 run = deprecated_entry(DRIVER, "render", "repro.experiments.fig10.run")
+points = deprecated_entry(DRIVER, "points", "repro.experiments.fig10.points")

@@ -9,17 +9,31 @@ together, which neither prefetching nor LVP can do.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Tuple
 
 from repro.core.config import ApproximatorConfig
 from repro.experiments.common import (
     BASELINE_WORKLOADS,
     ExperimentResult,
-    capture_trace,
-    run_fullsystem,
+    run_fullsystem_point,
 )
+from repro.experiments.sweep import SweepPoint, fullsystem_point
 
 DEGREES: Tuple[int, ...] = (0, 2, 4, 8, 16)
+
+
+def _config(degree: int) -> ApproximatorConfig:
+    return ApproximatorConfig(approximation_degree=degree)
+
+
+def points(small: bool = False, seed: int = 0) -> List[SweepPoint]:
+    """The sweep points :func:`run` consumes (for the parallel engine)."""
+    pts: List[SweepPoint] = []
+    for name in BASELINE_WORKLOADS:
+        pts.append(fullsystem_point(name, seed=seed, small=small))
+        for degree in DEGREES:
+            pts.append(fullsystem_point(name, _config(degree), seed=seed, small=small))
+    return pts
 
 
 def run(small: bool = False, seed: int = 0) -> ExperimentResult:
@@ -30,12 +44,16 @@ def run(small: bool = False, seed: int = 0) -> ExperimentResult:
         meta={"paper_normalized_edp": {0: 0.581, 4: 0.462, 16: 0.362}},
     )
     for name in BASELINE_WORKLOADS:
-        trace = capture_trace(name, seed=seed, small=small)
-        baseline = run_fullsystem(trace, approximate=False)
+        baseline = run_fullsystem_point(name, seed=seed, small=small)
         baseline_edp = baseline.miss_edp
         for degree in DEGREES:
-            config = ApproximatorConfig(approximation_degree=degree)
-            lva = run_fullsystem(trace, approximate=True, approximator=config)
+            lva = run_fullsystem_point(
+                name,
+                approximate=True,
+                approximator=_config(degree),
+                seed=seed,
+                small=small,
+            )
             normalized = lva.miss_edp / baseline_edp if baseline_edp else 0.0
             result.add(f"approx-{degree}", name, normalized)
     return result
@@ -44,5 +62,6 @@ from repro.experiments.common import Driver, deprecated_entry
 
 #: The :class:`~repro.experiments.common.ExperimentDriver` for this
 #: experiment — the supported entry point for programmatic use.
-DRIVER = Driver(name="fig11", render_fn=run)
+DRIVER = Driver(name="fig11", render_fn=run, points_fn=points)
 run = deprecated_entry(DRIVER, "render", "repro.experiments.fig11.run")
+points = deprecated_entry(DRIVER, "points", "repro.experiments.fig11.points")

@@ -19,8 +19,11 @@ them across experiments, and executes them on the
 once, then the technique points, all at point granularity.  The drivers
 then re-run serially in the parent against warm caches, so tables print
 in a deterministic order no matter how the points were scheduled.
-Experiments that cannot be decomposed into points (the trace/full-system
-replays) still run whole in worker processes.
+Full-system experiments decompose into replay points too: the engine
+pre-captures each needed trace once into the shared trace store, then
+fans the replays out; workers memory-map the stored columns.  The few
+experiments that cannot be decomposed into points still run whole in
+worker processes.
 """
 
 from __future__ import annotations

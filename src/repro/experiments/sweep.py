@@ -67,8 +67,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro import faults, telemetry
 from repro.core.config import ApproximatorConfig
 from repro.errors import PointTimeoutError
-from repro.experiments import common, diskcache
+from repro.experiments import common, diskcache, tracestore
 from repro.experiments.journal import NullJournal, RunJournal
+from repro.fullsystem import FullSystemResult
 from repro.sim.tracesim import Mode
 
 
@@ -81,6 +82,13 @@ class SweepPoint:
     implies its own precise baseline automatically. ``faults`` is an
     optional memory-fault spec (see :mod:`repro.faults`) applied to the
     technique run — baselines always execute clean.
+
+    ``fullsystem=True`` marks a phase-2 replay point
+    (:func:`common.run_fullsystem_point`): the captured trace replays
+    through the Table II platform, precisely (``approximate=False``) or
+    with per-core LVA (``approximate=True``, degree from ``config``).
+    Full-system points depend on their *trace capture* instead of a
+    precise phase-1 baseline.
     """
 
     workload: str
@@ -93,10 +101,18 @@ class SweepPoint:
     params: Tuple[Tuple[str, object], ...] = ()
     #: Memory-fault spec for this point ("" = clean).
     faults: str = ""
+    #: Phase-2 replay point (see class docstring).
+    fullsystem: bool = False
+    #: Replay with approximation enabled (full-system points only).
+    approximate: bool = False
 
     @property
     def is_technique(self) -> bool:
-        return self.mode is not None
+        return self.mode is not None and not self.fullsystem
+
+    @property
+    def is_fullsystem(self) -> bool:
+        return self.fullsystem
 
     def params_dict(self) -> Optional[dict]:
         return dict(self.params) if self.params else None
@@ -111,7 +127,10 @@ class SweepPoint:
         )
 
     def describe(self) -> str:
-        mode = self.mode.value if self.mode is not None else "precise"
+        if self.fullsystem:
+            mode = "fullsystem-lva" if self.approximate else "fullsystem-baseline"
+        else:
+            mode = self.mode.value if self.mode is not None else "precise"
         text = f"{self.workload}/{mode}/seed={self.seed}"
         if self.faults:
             text += f"/faults={self.faults}"
@@ -153,6 +172,28 @@ def precise_point(
     )
 
 
+def fullsystem_point(
+    workload: str,
+    config: Optional[ApproximatorConfig] = None,
+    approximate: Optional[bool] = None,
+    seed: int = 0,
+    small: bool = False,
+) -> SweepPoint:
+    """A point mirroring one :func:`common.run_fullsystem_point` call.
+
+    ``approximate`` defaults to whether a config was given (a configured
+    replay is an LVA replay; a bare one is the precise baseline).
+    """
+    return SweepPoint(
+        workload=workload,
+        config=config,
+        seed=seed,
+        small=small,
+        fullsystem=True,
+        approximate=config is not None if approximate is None else approximate,
+    )
+
+
 # --------------------------------------------------------------------- #
 # Point identity                                                        #
 # --------------------------------------------------------------------- #
@@ -166,6 +207,14 @@ def _point_fault_spec(point: SweepPoint) -> str:
 
 def point_disk_key(point: SweepPoint) -> str:
     """The disk-cache (and journal) key of one sweep point."""
+    if point.fullsystem:
+        return common.fullsystem_disk_key(
+            point.workload,
+            point.approximate,
+            point.config,
+            point.seed,
+            point.small,
+        )
     if point.is_technique:
         return common.technique_disk_key(
             point.workload,
@@ -180,6 +229,11 @@ def point_disk_key(point: SweepPoint) -> str:
     return common._precise_disk_key(
         point.workload, point.seed, point.small, point.params
     )
+
+
+def capture_key(point: SweepPoint) -> str:
+    """The trace-store key of the capture a full-system point depends on."""
+    return common.trace_disk_key(point.workload, point.seed, point.small)
 
 
 # --------------------------------------------------------------------- #
@@ -267,13 +321,78 @@ def _run_technique_worker(point: SweepPoint, attempt: int = 0):
     return point, result, _counter_delta(before, common.COMPUTE_COUNTERS.as_dict())
 
 
+def _run_capture_worker(point: SweepPoint, attempt: int = 0):
+    """Capture (or store-hit) one trace; returns (point, events, counters).
+
+    The pre-capture wave of a full-system sweep: after this task the
+    trace store holds the packed columns, so every replay worker
+    memory-maps them instead of re-running the workload.
+    """
+    faults.before_point(
+        "capture", point.workload, None, point.seed, point.small, attempt=attempt
+    )
+    before = common.COMPUTE_COUNTERS.as_dict()
+    tracer = telemetry.tracer()
+    if tracer is None:
+        trace = common.capture_trace(point.workload, point.seed, point.small)
+    else:
+        tracer.emit(
+            "sweep.point.running",
+            point=point.describe(),
+            kind="capture",
+            attempt=attempt,
+        )
+        with tracer.span("sweep.point", point=point.describe(), kind="capture"):
+            trace = common.capture_trace(point.workload, point.seed, point.small)
+    return point, len(trace), _counter_delta(before, common.COMPUTE_COUNTERS.as_dict())
+
+
+def _run_fullsystem_worker(point: SweepPoint, attempt: int = 0):
+    """Compute one full-system replay; returns (point, result, counters)."""
+    faults.before_point(
+        "fullsystem",
+        point.workload,
+        "lva" if point.approximate else "baseline",
+        point.seed,
+        point.small,
+        config=point.config,
+        attempt=attempt,
+    )
+    before = common.COMPUTE_COUNTERS.as_dict()
+    tracer = telemetry.tracer()
+    if tracer is None:
+        result = common.run_fullsystem_point(
+            point.workload,
+            approximate=point.approximate,
+            approximator=point.config,
+            seed=point.seed,
+            small=point.small,
+        )
+    else:
+        tracer.emit(
+            "sweep.point.running",
+            point=point.describe(),
+            kind="fullsystem",
+            attempt=attempt,
+        )
+        with tracer.span("sweep.point", point=point.describe(), kind="fullsystem"):
+            result = common.run_fullsystem_point(
+                point.workload,
+                approximate=point.approximate,
+                approximator=point.config,
+                seed=point.seed,
+                small=point.small,
+            )
+    return point, result, _counter_delta(before, common.COMPUTE_COUNTERS.as_dict())
+
+
 # Baseline-only identity: precise runs are independent of the technique
 # fields (mode/config/prefetch_degree) and always execute clean (faults).
 def _precise_cache_key(point: SweepPoint) -> tuple:  # lva: ignore[LVA002]
     return (point.workload, point.seed, point.small, point.params)
 
 
-def _technique_cache_key(point: SweepPoint) -> tuple:
+def _technique_cache_key(point: SweepPoint) -> tuple:  # lva: ignore[LVA002]
     return (
         point.workload,
         point.mode,
@@ -286,12 +405,28 @@ def _technique_cache_key(point: SweepPoint) -> tuple:
     )
 
 
+# Replay identity: the in-process key of common.run_fullsystem_point
+# (captures are precise and clean, so no mode/prefetch/fault components).
+def _fullsystem_cache_key(point: SweepPoint) -> tuple:  # lva: ignore[LVA002]
+    return (
+        point.workload,
+        point.approximate,
+        point.config,
+        point.seed,
+        point.small,
+    )
+
+
 def _backfill_precise(point: SweepPoint, reference) -> None:
     common._PRECISE_CACHE[_precise_cache_key(point)] = reference
 
 
 def _backfill_technique(point: SweepPoint, result) -> None:
     common._TECHNIQUE_CACHE[_technique_cache_key(point)] = result
+
+
+def _backfill_fullsystem(point: SweepPoint, result) -> None:
+    common._FULLSYSTEM_CACHE[_fullsystem_cache_key(point)] = result
 
 
 # --------------------------------------------------------------------- #
@@ -304,7 +439,7 @@ class PointFailure:
     """One sweep point that exhausted its retries — the run survived it."""
 
     point: SweepPoint
-    kind: str  # "precise" | "technique"
+    kind: str  # "precise" | "technique" | "capture" | "fullsystem"
     error_type: str
     message: str
     attempts: int
@@ -329,7 +464,15 @@ class _Task:
 
     @property
     def worker(self):
-        return _run_precise_worker if self.kind == "precise" else _run_technique_worker
+        return _WORKERS[self.kind]
+
+
+_WORKERS = {
+    "precise": _run_precise_worker,
+    "technique": _run_technique_worker,
+    "capture": _run_capture_worker,
+    "fullsystem": _run_fullsystem_worker,
+}
 
 
 def _sigterm_to_interrupt(signum, frame):
@@ -366,6 +509,14 @@ class SweepReport:
     #: ``unique_baselines`` on a cold cache is the exactly-once property.
     precise_computed: int = 0
     technique_computed: int = 0
+    #: Full-system replays actually executed (vs served from a cache).
+    fullsystem_computed: int = 0
+    #: Workload executions performed to capture a phase-2 trace. Zero on
+    #: a warm trace store — the acceptance signal that sweep workers
+    #: shared bytes instead of re-running workloads.
+    traces_captured: int = 0
+    #: Traces served from the memory-mapped trace store.
+    trace_store_hits: int = 0
     disk_hits: int = 0
     elapsed: float = 0.0
     #: Points restored from the journal + disk cache by ``resume``.
@@ -388,6 +539,12 @@ class SweepReport:
             f"{self.technique_computed} technique runs, "
             f"{self.disk_hits} disk hits, {self.elapsed:.1f}s"
         )
+        if self.fullsystem_computed or self.traces_captured or self.trace_store_hits:
+            text += (
+                f", {self.fullsystem_computed} replays, "
+                f"{self.traces_captured} traces captured "
+                f"({self.trace_store_hits} store hits)"
+            )
         extras = []
         if self.resumed_points:
             extras.append(f"{self.resumed_points} resumed")
@@ -442,14 +599,31 @@ class SweepEngine:
     # -- public entry ---------------------------------------------------- #
 
     def execute(self, points: Iterable[SweepPoint]) -> SweepReport:
-        """Run every unique point (and implied baseline) exactly once."""
+        """Run every unique point (and implied dependency) exactly once.
+
+        Wave 1 runs the unique precise baselines implied by the phase-1
+        points **and** the unique trace captures implied by the
+        full-system points (each capture publishes its packed columns to
+        the shared trace store). Wave 2 fans out the technique and
+        replay points; their workers read the warm baselines from the
+        disk cache and memory-map the warm traces zero-copy.
+        """
         started = time.time()
         requested = list(points)
         unique: List[SweepPoint] = list(dict.fromkeys(requested))
         baselines: List[SweepPoint] = list(
-            dict.fromkeys(point.baseline() for point in unique)
+            dict.fromkeys(point.baseline() for point in unique if not point.fullsystem)
         )
         technique_points = [p for p in unique if p.is_technique]
+        fullsystem_points = [p for p in unique if p.is_fullsystem]
+        # Pre-capture only pays off when workers can share the result:
+        # without the trace store each process keeps its own LRU anyway.
+        captures: List[SweepPoint] = []
+        if fullsystem_points and tracestore.active_store() is not None:
+            seen: Dict[str, SweepPoint] = {}
+            for point in fullsystem_points:
+                seen.setdefault(capture_key(point), point)
+            captures = list(seen.values())
 
         report = self.report
         report.requested_points += len(requested)
@@ -459,26 +633,37 @@ class SweepEngine:
         baseline_tasks = [
             _Task(point, "precise", point_disk_key(point)) for point in baselines
         ]
+        capture_tasks = [
+            _Task(point, "capture", capture_key(point)) for point in captures
+        ]
         technique_tasks = [
             _Task(point, "technique", point_disk_key(point))
             for point in technique_points
         ]
+        fullsystem_tasks = [
+            _Task(point, "fullsystem", point_disk_key(point))
+            for point in fullsystem_points
+        ]
 
         tracer = telemetry.tracer()
+        all_tasks = baseline_tasks + capture_tasks + technique_tasks + fullsystem_tasks
         if tracer is not None:
-            for task in baseline_tasks + technique_tasks:
+            for task in all_tasks:
                 tracer.emit(
                     "sweep.point.queued", point=task.point.describe(), kind=task.kind
                 )
-        journal = self._open_journal(baseline_tasks + technique_tasks)
+        journal = self._open_journal(all_tasks)
         self._install_signal_handler()
         try:
             if self.resume:
                 baseline_tasks = self._restore_completed(baseline_tasks, journal)
+                capture_tasks = self._restore_completed(capture_tasks, journal)
                 technique_tasks = self._restore_completed(technique_tasks, journal)
-            self._run_wave(baseline_tasks, journal)
+                fullsystem_tasks = self._restore_completed(fullsystem_tasks, journal)
+            self._run_wave(baseline_tasks + capture_tasks, journal)
             technique_tasks = self._fail_orphaned(technique_tasks, journal)
-            self._run_wave(technique_tasks, journal)
+            fullsystem_tasks = self._fail_orphaned(fullsystem_tasks, journal)
+            self._run_wave(technique_tasks + fullsystem_tasks, journal)
         finally:
             self._restore_signal_handler()
             journal.close()
@@ -511,22 +696,30 @@ class SweepEngine:
         disk = diskcache.active_cache()
         remaining: List[_Task] = []
         for task in tasks:
-            if disk is not None and task.key in journal.done:
-                stored = disk.get(task.key)
-                expected = (
-                    common.PreciseReference
-                    if task.kind == "precise"
-                    else common.TechniqueResult
-                )
-                if isinstance(stored, expected):
-                    if task.kind == "precise":
-                        _backfill_precise(task.point, stored)
-                    else:
-                        _backfill_technique(task.point, stored)
-                    self.report.resumed_points += 1
-                    continue
+            if task.key in journal.done and self._restore_one(task, disk):
+                self.report.resumed_points += 1
+                continue
             remaining.append(task)
         return remaining
+
+    def _restore_one(self, task: _Task, disk) -> bool:
+        """Restore one journal-completed task from its persistent layer."""
+        if task.kind == "capture":
+            store = tracestore.active_store()
+            return store is not None and store.has(task.key)
+        if disk is None:
+            return False
+        stored = disk.get(task.key)
+        if task.kind == "precise" and isinstance(stored, common.PreciseReference):
+            _backfill_precise(task.point, stored)
+            return True
+        if task.kind == "technique" and isinstance(stored, common.TechniqueResult):
+            _backfill_technique(task.point, stored)
+            return True
+        if task.kind == "fullsystem" and isinstance(stored, FullSystemResult):
+            _backfill_fullsystem(task.point, stored)
+            return True
+        return False
 
     # -- wave orchestration ---------------------------------------------- #
 
@@ -539,22 +732,34 @@ class SweepEngine:
             self._run_supervised(list(tasks), journal)
 
     def _fail_orphaned(self, tasks: List[_Task], journal) -> List[_Task]:
-        """Pre-fail technique points whose baseline permanently failed.
+        """Pre-fail wave-2 points whose dependency permanently failed.
 
-        Their workers would only rediscover the failure (against a
-        placeholder baseline) the slow and confusing way.
+        A technique point depends on its precise baseline; a full-system
+        point on its trace capture. Their workers would only rediscover
+        the failure (against a placeholder) the slow and confusing way.
         """
         if not self._failed_baseline_keys:
             return tasks
         remaining: List[_Task] = []
         for task in tasks:
-            baseline_key = point_disk_key(task.point.baseline())
-            if baseline_key in self._failed_baseline_keys:
+            if task.kind == "fullsystem":
+                dependency_key = capture_key(task.point)
+                error_type, message = (
+                    "CaptureFailed",
+                    "trace capture for this point failed",
+                )
+            else:
+                dependency_key = point_disk_key(task.point.baseline())
+                error_type, message = (
+                    "BaselineFailed",
+                    "precise baseline for this point failed",
+                )
+            if dependency_key in self._failed_baseline_keys:
                 failure = PointFailure(
                     point=task.point,
                     kind=task.kind,
-                    error_type="BaselineFailed",
-                    message="precise baseline for this point failed",
+                    error_type=error_type,
+                    message=message,
                     attempts=0,
                 )
                 self._register_failure(task, failure, journal)
@@ -798,8 +1003,12 @@ class SweepEngine:
     def _record_success(self, task: _Task, result, counters, journal) -> None:
         if task.kind == "precise":
             _backfill_precise(task.point, result)
-        else:
+        elif task.kind == "technique":
             _backfill_technique(task.point, result)
+        elif task.kind == "fullsystem":
+            _backfill_fullsystem(task.point, result)
+        # "capture": the trace store entry *is* the artifact; nothing to
+        # backfill in the parent beyond the counters.
         self._absorb_counters(_ZERO_COUNTERS, counters)
         journal.record_done(task.kind, task.key)
         if telemetry.enabled():
@@ -839,6 +1048,12 @@ class SweepEngine:
         if task.kind == "precise":
             _backfill_precise(task.point, common.failed_precise_reference(message))
             self._failed_baseline_keys.add(task.key)
+        elif task.kind == "capture":
+            # Dependents are pre-failed by _fail_orphaned; their FAILED
+            # placeholders carry the render-path NaNs.
+            self._failed_baseline_keys.add(task.key)
+        elif task.kind == "fullsystem":
+            _backfill_fullsystem(task.point, common.failed_fullsystem_result(message))
         else:
             _backfill_technique(task.point, common.failed_technique_result(message))
         journal.record_failed(
@@ -853,6 +1068,9 @@ class SweepEngine:
         registry.gauge("sweep.unique_points").set(report.unique_points)
         registry.gauge("sweep.precise_computed").set(report.precise_computed)
         registry.gauge("sweep.technique_computed").set(report.technique_computed)
+        registry.gauge("sweep.fullsystem_computed").set(report.fullsystem_computed)
+        registry.gauge("sweep.traces_captured").set(report.traces_captured)
+        registry.gauge("sweep.trace_store_hits").set(report.trace_store_hits)
         registry.gauge("sweep.disk_hits").set(report.disk_hits)
         registry.gauge("sweep.failures").set(len(report.failures))
         registry.gauge("sweep.elapsed_s").set(report.elapsed)
@@ -865,6 +1083,9 @@ class SweepEngine:
                 baselines=report.unique_baselines,
                 precise_computed=report.precise_computed,
                 technique_computed=report.technique_computed,
+                fullsystem_computed=report.fullsystem_computed,
+                traces_captured=report.traces_captured,
+                trace_store_hits=report.trace_store_hits,
                 disk_hits=report.disk_hits,
                 retried=report.retried_attempts,
                 timeouts=report.timeouts,
@@ -899,22 +1120,24 @@ class SweepEngine:
         report.technique_computed += (
             after["technique_computed"] - before["technique_computed"]
         )
+        report.fullsystem_computed += (
+            after["fullsystem_computed"] - before["fullsystem_computed"]
+        )
+        report.traces_captured += after["traces_captured"] - before["traces_captured"]
+        report.trace_store_hits += (
+            after["trace_store_hits"] - before["trace_store_hits"]
+        )
         report.disk_hits += (
             after["precise_disk_hits"]
             - before["precise_disk_hits"]
             + after["technique_disk_hits"]
             - before["technique_disk_hits"]
+            + after["fullsystem_disk_hits"]
+            - before["fullsystem_disk_hits"]
         )
 
 
-_ZERO_COUNTERS: Dict[str, int] = {
-    "precise_computed": 0,
-    "precise_memory_hits": 0,
-    "precise_disk_hits": 0,
-    "technique_computed": 0,
-    "technique_memory_hits": 0,
-    "technique_disk_hits": 0,
-}
+_ZERO_COUNTERS: Dict[str, int] = common.ComputeCounters().as_dict()
 
 
 def execute_points(points: Iterable[SweepPoint], jobs: int = 1, **kwargs) -> SweepReport:
@@ -932,7 +1155,9 @@ def execute_point(point: SweepPoint):
     :class:`~repro.experiments.common.PreciseReference` or
     :class:`~repro.experiments.common.TechniqueResult`.
     """
-    if point.is_technique:
+    if point.is_fullsystem:
+        _, result, _ = _run_fullsystem_worker(point)
+    elif point.is_technique:
         _, result, _ = _run_technique_worker(point)
     else:
         _, result, _ = _run_precise_worker(point)

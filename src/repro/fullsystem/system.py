@@ -32,7 +32,7 @@ from repro.mem.coherence import CoherenceAction, MSIDirectory
 from repro.mem.dram import DRAMModel
 from repro.noc.network import MeshNetwork
 from repro.fullsystem.config import FullSystemConfig
-from repro.sim.trace import LoadEvent, Trace
+from repro.sim.trace import PackedTrace, Trace
 from repro.telemetry.registry import safe_ratio
 
 Number = Union[int, float]
@@ -56,6 +56,10 @@ class FullSystemResult:
     energy: EnergyBreakdown
     #: Per-core retire times, for load-balance inspection.
     core_cycles: List[float] = field(default_factory=list)
+    #: Failure message for a sweep point that exhausted its retries
+    #: (None for every real replay); set only by
+    #: :func:`repro.experiments.common.failed_fullsystem_result`.
+    failure: Optional[str] = None
 
     @property
     def average_miss_latency(self) -> float:
@@ -240,51 +244,56 @@ class FullSystemSimulator:
         for token, value in self._pending[core_id].due(self.cores[core_id].clock):
             self.approximators[core_id].train(token, value)
 
-    def _process_store(self, core_id: int, event: LoadEvent) -> None:
+    def _process_store(self, core_id: int, addr: int) -> None:
         """A store event (present only in traces captured with
         ``record_stores=True``): write-no-allocate with MSI invalidation of
         remote sharers. Stores retire through the store buffer and never
         stall the core (Section V-A: store misses are off the critical
         path); their cost here is the coherence traffic they generate."""
         core = self.cores[core_id]
-        block = self.l1s[core_id].block_address(event.addr)
-        hit = self.l1s[core_id].contains(event.addr)
+        block = self.l1s[core_id].block_address(addr)
+        hit = self.l1s[core_id].contains(addr)
         response = self.directory.write(core_id, block)
         for target, action in response.actions:
             if action is CoherenceAction.INVALIDATE and target != core_id:
-                if self.l1s[target].invalidate(event.addr):
+                if self.l1s[target].invalidate(addr):
                     # One invalidation control message per remote sharer.
                     self.noc.send(
-                        self._bank_of(event.addr), target,
+                        self._bank_of(addr), target,
                         int(core.clock), self.config.noc.control_flits,
                     )
         if hit:
-            self.l1s[core_id].probe(event.addr, is_write=True)
+            self.l1s[core_id].probe(addr, is_write=True)
         else:
             # Write-through to the home bank: a control-sized message.
             self.noc.send(
-                core_id, self._bank_of(event.addr),
+                core_id, self._bank_of(addr),
                 int(core.clock), self.config.noc.control_flits,
             )
             self.directory.evict(core_id, block)  # no allocation performed
         core.advance(1)
 
-    def _process(self, core_id: int, event: LoadEvent) -> None:
-        if event.is_store:
-            self._process_store(core_id, event)
-            return
+    def _process_load(
+        self,
+        core_id: int,
+        pc: int,
+        addr: int,
+        value: Number,
+        is_float: bool,
+        approximable: bool,
+    ) -> None:
         core = self.cores[core_id]
         self._apply_due_trainings(core_id)
         self._loads += 1
 
         l1 = self.l1s[core_id]
-        if l1.probe(event.addr):
+        if l1.probe(addr):
             core.issue_load(0)
             return
 
         self._raw_misses += 1
-        if self.approximators is not None and event.approximable:
-            decision = self.approximators[core_id].on_miss(event.pc, event.is_float)
+        if self.approximators is not None and approximable:
+            decision = self.approximators[core_id].on_miss(pc, is_float)
             if decision.approximated:
                 self._covered += 1
                 core.issue_load(0, blocking=False)
@@ -293,24 +302,24 @@ class FullSystemSimulator:
                     # it lands, providing the emergent value delay. It may
                     # be dropped entirely under pressure.
                     completion = self._fetch_block(
-                        core_id, event.addr, core.clock, training=True
+                        core_id, addr, core.clock, training=True
                     )
                     if completion is not None:
                         self._pending[core_id].push(
-                            completion, decision.token, event.value
+                            completion, decision.token, value
                         )
                 return
             # Not approximated (cold/unconfident): a normal blocking miss
             # whose arrival also trains the approximator.
-            completion = self._fetch_block(core_id, event.addr, core.clock)
+            completion = self._fetch_block(core_id, addr, core.clock)
             latency = completion - core.clock
             self._total_miss_latency += latency
             core.issue_load(int(latency))
             if decision.token is not None:
-                self._pending[core_id].push(completion, decision.token, event.value)
+                self._pending[core_id].push(completion, decision.token, value)
             return
 
-        completion = self._fetch_block(core_id, event.addr, core.clock)
+        completion = self._fetch_block(core_id, addr, core.clock)
         latency = completion - core.clock
         self._total_miss_latency += latency
         core.issue_load(int(latency))
@@ -319,22 +328,76 @@ class FullSystemSimulator:
     # Entry point                                                         #
     # ------------------------------------------------------------------ #
 
-    def run(self, trace: Trace) -> FullSystemResult:
-        """Replay ``trace`` and return the phase-2 metrics."""
-        streams = trace.per_thread()
-        if not streams:
+    def run(self, trace: Union[Trace, PackedTrace]) -> FullSystemResult:
+        """Replay ``trace`` and return the phase-2 metrics.
+
+        The hot loop consumes the packed (structure-of-arrays) form:
+        a vectorized pre-pass partitions the trace into per-core event
+        queues of plain tuples, and the scheduling loop then indexes
+        those queues — no per-event dataclass allocation or attribute
+        dispatch. ``Trace`` inputs are packed first; the result is
+        bit-identical to :meth:`replay_events` on the same events.
+        """
+        packed = trace.pack() if isinstance(trace, Trace) else trace
+        if not len(packed):
             raise SimulationError("cannot replay an empty trace")
-        queues: Dict[int, List[LoadEvent]] = {}
-        for tid, events in streams.items():
-            queues.setdefault(tid % self.config.num_cores, []).extend(events)
+        # Vectorized pre-pass: per-core row partitioning on the columns,
+        # then one zip into per-event tuples (C-speed, done once).
+        tuples = packed.event_tuples()
+        queues: Dict[int, List[tuple]] = {
+            core_id: [tuples[i] for i in rows.tolist()]
+            for core_id, rows in packed.per_core_indices(
+                self.config.num_cores
+            ).items()
+        }
         cursors = {core_id: 0 for core_id in queues}
         gap_pending = {core_id: True for core_id in queues}
+        cores = self.cores
 
         # Always advance the core that is furthest behind in time, so NoC
         # link reservations happen in near-global time order. Gap execution
         # and the load itself are separate scheduling steps: otherwise a
         # long gap would let one core stamp a packet far in the future and
         # spuriously queue every slower core's traffic behind it.
+        while cursors:
+            core_id = min(cursors, key=lambda c: cores[c].clock)
+            events = queues[core_id]
+            index = cursors[core_id]
+            pc, addr, value, is_float, approximable, gap, is_store = events[index]
+            if gap_pending[core_id]:
+                gap_pending[core_id] = False
+                if gap:
+                    cores[core_id].advance(gap)
+                    continue
+            if is_store:
+                self._process_store(core_id, addr)
+            else:
+                self._process_load(core_id, pc, addr, value, is_float, approximable)
+            if index + 1 >= len(events):
+                del cursors[core_id]
+            else:
+                cursors[core_id] = index + 1
+                gap_pending[core_id] = True
+
+        return self._finalize()
+
+    def replay_events(self, trace: Trace) -> FullSystemResult:
+        """Replay the object-list representation directly.
+
+        The reference interpreter for the packed hot loop: identical
+        scheduling over ``LoadEvent`` objects, kept so the differential
+        tests can pin :meth:`run`'s bit-equality against it. Not the
+        production path — :meth:`run` packs and uses the columnar loop.
+        """
+        streams = trace.per_thread()
+        if not streams:
+            raise SimulationError("cannot replay an empty trace")
+        queues: Dict[int, List] = {}
+        for tid, events in streams.items():
+            queues.setdefault(tid % self.config.num_cores, []).extend(events)
+        cursors = {core_id: 0 for core_id in queues}
+        gap_pending = {core_id: True for core_id in queues}
+
         while cursors:
             core_id = min(cursors, key=lambda c: self.cores[c].clock)
             events = queues[core_id]
@@ -345,13 +408,26 @@ class FullSystemSimulator:
                 if event.gap:
                     self.cores[core_id].advance(event.gap)
                     continue
-            self._process(core_id, event)
+            if event.is_store:
+                self._process_store(core_id, event.addr)
+            else:
+                self._process_load(
+                    core_id,
+                    event.pc,
+                    event.addr,
+                    event.value,
+                    event.is_float,
+                    event.approximable,
+                )
             if index + 1 >= len(events):
                 del cursors[core_id]
             else:
                 cursors[core_id] = index + 1
                 gap_pending[core_id] = True
 
+        return self._finalize()
+
+    def _finalize(self) -> FullSystemResult:
         for core_id, core in enumerate(self.cores):
             core.finish()
             if self.approximators is not None:

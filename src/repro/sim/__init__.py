@@ -10,7 +10,7 @@ fetched, coverage and instruction counts.
 
 from repro.sim.frontend import AddressSpace, MemoryFrontend, PreciseMemory, Region
 from repro.sim.stats import SimulationStats
-from repro.sim.trace import LoadEvent, Trace, TraceRecorder
+from repro.sim.trace import LoadEvent, PackedTrace, Trace, TraceRecorder
 from repro.sim.tracesim import Mode, TraceSimulator
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "LoadEvent",
     "MemoryFrontend",
     "Mode",
+    "PackedTrace",
     "PreciseMemory",
     "Region",
     "SimulationStats",

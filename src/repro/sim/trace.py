@@ -4,16 +4,49 @@ The full-system simulator is trace-driven, like the paper's two-phase
 methodology: phase 1 runs the workload functionally and records every
 annotated and precise load with its inter-load instruction gap and thread
 id; phase 2 replays the per-thread streams through the 4-core timing model.
+
+Two representations exist:
+
+* :class:`Trace` — a list of :class:`LoadEvent` objects, convenient to
+  record into and inspect.
+* :class:`PackedTrace` — the same events as a structure-of-arrays (one
+  NumPy column per field). This is the replay and persistence format:
+  columns serialise straight to ``.npy`` files that the trace store
+  memory-maps across sweep workers, and the replay hot loops iterate
+  packed columns without per-event dataclass allocation.
+
+``Trace.pack()`` / ``PackedTrace.to_trace()`` round-trip losslessly:
+values keep their Python type (int vs float) through a discriminator
+column, so replaying a packed trace is bit-identical to replaying the
+original event list.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 Number = Union[int, float]
+
+#: The canonical column set of a packed trace, in serialisation order.
+#: ``value_f``/``value_i`` hold the load value (selected by
+#: ``value_is_int``, which preserves the value's *Python type* — the
+#: semantic datatype flag ``is_float`` is a separate column because a
+#: precise ``load()`` of an integer value is typed float by the frontend).
+TRACE_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("tid", "int32"),
+    ("pc", "int64"),
+    ("addr", "int64"),
+    ("value_f", "float64"),
+    ("value_i", "int64"),
+    ("value_is_int", "bool"),
+    ("is_float", "bool"),
+    ("approximable", "bool"),
+    ("gap", "int64"),
+    ("is_store", "bool"),
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,10 +78,176 @@ class LoadEvent:
     is_store: bool = False
 
 
+def _is_int_value(value: Number) -> bool:
+    """Whether ``value`` round-trips through the integer column."""
+    return isinstance(value, (int, np.integer))
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class PackedTrace:
+    """A trace as a structure of arrays — the replay/persistence format.
+
+    One NumPy array per :class:`LoadEvent` field (see
+    :data:`TRACE_COLUMNS`). Columns may be memory-mapped read-only views
+    straight out of the on-disk trace store; nothing here mutates them.
+    """
+
+    tid: np.ndarray
+    pc: np.ndarray
+    addr: np.ndarray
+    value_f: np.ndarray
+    value_i: np.ndarray
+    value_is_int: np.ndarray
+    is_float: np.ndarray
+    approximable: np.ndarray
+    gap: np.ndarray
+    is_store: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.tid)
+
+    def columns(self) -> Dict[str, np.ndarray]:
+        """Name -> array, in :data:`TRACE_COLUMNS` order."""
+        return {name: getattr(self, name) for name, _ in TRACE_COLUMNS}
+
+    @property
+    def nbytes(self) -> int:
+        """Total size of the column data in bytes."""
+        return sum(array.nbytes for array in self.columns().values())
+
+    @property
+    def total_instructions(self) -> int:
+        """Loads plus recorded gaps across all threads."""
+        return len(self) + int(self.gap.sum())
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                       #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_arrays(cls, data: Mapping[str, np.ndarray]) -> "PackedTrace":
+        """Build from a column mapping, casting dtypes and filling columns
+        absent from older serialisations (``is_store`` defaults to all
+        False; ``value_is_int`` to the pre-discriminator ``not is_float``
+        semantics).
+
+        Raises:
+            ValueError: on ragged or non-1-D columns.
+        """
+        is_float = np.asarray(data["is_float"], dtype=bool)
+        length = len(is_float)
+        arrays: Dict[str, np.ndarray] = {}
+        for name, dtype in TRACE_COLUMNS:
+            if name in data:
+                column = np.asarray(data[name], dtype=np.dtype(dtype))
+            elif name == "is_store":
+                column = np.zeros(length, dtype=bool)
+            elif name == "value_is_int":
+                column = ~is_float
+            else:
+                raise ValueError(f"packed trace is missing column {name!r}")
+            if column.ndim != 1:
+                raise ValueError(f"column {name!r} is not 1-D")
+            if len(column) != length:
+                raise ValueError(
+                    f"column {name!r} has {len(column)} rows, expected {length}"
+                )
+            arrays[name] = column
+        return cls(**arrays)
+
+    def select(self, indices: np.ndarray) -> "PackedTrace":
+        """A new packed trace of the rows at ``indices`` (in that order)."""
+        return PackedTrace(
+            **{name: array[indices] for name, array in self.columns().items()}
+        )
+
+    # ------------------------------------------------------------------ #
+    # Views                                                              #
+    # ------------------------------------------------------------------ #
+
+    def value_list(self) -> List[Number]:
+        """Per-event values as native Python ints/floats (exact)."""
+        ints = self.value_i.tolist()
+        floats = self.value_f.tolist()
+        flags = self.value_is_int.tolist()
+        return [i if flag else f for i, f, flag in zip(ints, floats, flags)]
+
+    def event_tuples(self) -> List[tuple]:
+        """Events as ``(pc, addr, value, is_float, approximable, gap,
+        is_store)`` tuples, in trace order.
+
+        The replay hot-loop format: one list indexing per event instead of
+        seven attribute reads on a dataclass, and values are native Python
+        scalars rather than NumPy ones.
+        """
+        return list(
+            zip(
+                self.pc.tolist(),
+                self.addr.tolist(),
+                self.value_list(),
+                self.is_float.tolist(),
+                self.approximable.tolist(),
+                self.gap.tolist(),
+                self.is_store.tolist(),
+            )
+        )
+
+    def thread_order(self) -> List[int]:
+        """Thread ids in order of first appearance in the trace."""
+        tids, first = np.unique(np.asarray(self.tid), return_index=True)
+        return [int(tids[j]) for j in np.argsort(first, kind="stable")]
+
+    def per_thread(self) -> Dict[int, "PackedTrace"]:
+        """Split into per-thread packed streams, preserving order.
+
+        Keys appear in order of first appearance, matching
+        :meth:`Trace.per_thread`.
+        """
+        tid = np.asarray(self.tid)
+        return {
+            t: self.select(np.flatnonzero(tid == t)) for t in self.thread_order()
+        }
+
+    def per_core_indices(self, num_cores: int) -> Dict[int, np.ndarray]:
+        """Row indices of each core's replay queue, vectorized.
+
+        Replicates the full-system scheduling semantics exactly: threads
+        are pinned ``tid % num_cores`` and, when several threads share a
+        core, their *whole streams are concatenated* in thread
+        first-appearance order (not interleaved in global order). Core
+        keys also appear in first-appearance order.
+        """
+        tid = np.asarray(self.tid)
+        buckets: Dict[int, List[np.ndarray]] = {}
+        for t in self.thread_order():
+            buckets.setdefault(t % num_cores, []).append(np.flatnonzero(tid == t))
+        return {
+            core: chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            for core, chunks in buckets.items()
+        }
+
+    def to_trace(self) -> "Trace":
+        """Unpack to the object-list representation (lossless)."""
+        events = list(
+            map(
+                LoadEvent,
+                self.tid.tolist(),
+                self.pc.tolist(),
+                self.addr.tolist(),
+                self.value_list(),
+                self.is_float.tolist(),
+                self.approximable.tolist(),
+                self.gap.tolist(),
+                self.is_store.tolist(),
+            )
+        )
+        return Trace(events)
+
+
 class Trace:
     """An ordered collection of :class:`LoadEvent`, with per-thread views."""
 
-    def __init__(self, events: List[LoadEvent] = None) -> None:
+    def __init__(self, events: Optional[List[LoadEvent]] = None) -> None:
         self.events: List[LoadEvent] = list(events) if events else []
 
     def append(self, event: LoadEvent) -> None:
@@ -56,10 +255,24 @@ class Trace:
         self.events.append(event)
 
     def per_thread(self) -> Dict[int, List[LoadEvent]]:
-        """Split into per-thread streams, preserving order."""
+        """Split into per-thread streams, preserving order.
+
+        One O(n) pass; consecutive events from the same thread (the
+        common case — workloads issue bursts per thread) reuse the
+        previous stream without a dict probe.
+        """
         streams: Dict[int, List[LoadEvent]] = {}
+        last_tid: Optional[int] = None
+        append = None
         for event in self.events:
-            streams.setdefault(event.tid, []).append(event)
+            tid = event.tid
+            if tid != last_tid:
+                stream = streams.get(tid)
+                if stream is None:
+                    stream = streams[tid] = []
+                append = stream.append
+                last_tid = tid
+            append(event)
         return streams
 
     @property
@@ -74,6 +287,38 @@ class Trace:
         return iter(self.events)
 
     # ------------------------------------------------------------------ #
+    # Packing                                                            #
+    # ------------------------------------------------------------------ #
+
+    def pack(self) -> PackedTrace:
+        """The structure-of-arrays form of this trace (lossless).
+
+        Values are stored in two columns (float and int) selected by
+        their Python type so both datatypes round-trip exactly;
+        ``PackedTrace.to_trace()`` inverts this method.
+        """
+        events = self.events
+        value_is_int = [_is_int_value(e.value) for e in events]
+        return PackedTrace(
+            tid=np.array([e.tid for e in events], dtype=np.int32),
+            pc=np.array([e.pc for e in events], dtype=np.int64),
+            addr=np.array([e.addr for e in events], dtype=np.int64),
+            value_f=np.array(
+                [0.0 if flag else e.value for e, flag in zip(events, value_is_int)],
+                dtype=np.float64,
+            ),
+            value_i=np.array(
+                [int(e.value) if flag else 0 for e, flag in zip(events, value_is_int)],
+                dtype=np.int64,
+            ),
+            value_is_int=np.array(value_is_int, dtype=bool),
+            is_float=np.array([e.is_float for e in events], dtype=bool),
+            approximable=np.array([e.approximable for e in events], dtype=bool),
+            gap=np.array([e.gap for e in events], dtype=np.int64),
+            is_store=np.array([e.is_store for e in events], dtype=bool),
+        )
+
+    # ------------------------------------------------------------------ #
     # Persistence                                                        #
     # ------------------------------------------------------------------ #
 
@@ -82,50 +327,23 @@ class Trace:
 
         Phase-1 trace capture is the expensive step of the methodology;
         persisting traces lets phase-2 sweeps (and other machines) replay
-        them without re-running the workload. Values are stored in two
-        columns (float and int) selected by the ``is_float`` flag so both
-        datatypes round-trip exactly.
+        them without re-running the workload. The file holds the
+        :data:`TRACE_COLUMNS` of :meth:`pack`, so both datatypes
+        round-trip exactly.
         """
-        events = self.events
-        np.savez_compressed(
-            path,
-            tid=np.array([e.tid for e in events], dtype=np.int32),
-            pc=np.array([e.pc for e in events], dtype=np.int64),
-            addr=np.array([e.addr for e in events], dtype=np.int64),
-            value_f=np.array(
-                [e.value if e.is_float else 0.0 for e in events], dtype=np.float64
-            ),
-            value_i=np.array(
-                [0 if e.is_float else int(e.value) for e in events], dtype=np.int64
-            ),
-            is_float=np.array([e.is_float for e in events], dtype=bool),
-            approximable=np.array([e.approximable for e in events], dtype=bool),
-            gap=np.array([e.gap for e in events], dtype=np.int64),
-            is_store=np.array([e.is_store for e in events], dtype=bool),
-        )
+        np.savez_compressed(path, **self.pack().columns())
 
     @classmethod
     def load(cls, path: str) -> "Trace":
-        """Deserialise a trace written by :meth:`save`."""
-        data = np.load(path)
-        events = [
-            LoadEvent(
-                tid=int(data["tid"][i]),
-                pc=int(data["pc"][i]),
-                addr=int(data["addr"][i]),
-                value=(
-                    float(data["value_f"][i])
-                    if data["is_float"][i]
-                    else int(data["value_i"][i])
-                ),
-                is_float=bool(data["is_float"][i]),
-                approximable=bool(data["approximable"][i]),
-                gap=int(data["gap"][i]),
-                is_store=bool(data["is_store"][i]) if "is_store" in data else False,
-            )
-            for i in range(len(data["tid"]))
-        ]
-        return cls(events)
+        """Deserialise a trace written by :meth:`save`.
+
+        Files written before the ``value_is_int``/``is_store`` columns
+        existed load with their historical semantics (value type from
+        ``is_float``; no stores).
+        """
+        with np.load(path) as data:
+            packed = PackedTrace.from_arrays({name: data[name] for name in data.files})
+        return packed.to_trace()
 
 
 class TraceRecorder:

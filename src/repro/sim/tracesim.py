@@ -32,7 +32,7 @@ from repro.prefetch.base import Prefetcher
 from repro.prefetch.ghb import GHBPrefetcher
 from repro.sim.frontend import MemoryFrontend
 from repro.sim.stats import SimulationStats
-from repro.sim.trace import TraceRecorder
+from repro.sim.trace import PackedTrace, Trace, TraceRecorder
 from repro.telemetry import sim_hook
 
 Number = Union[int, float]
@@ -205,6 +205,58 @@ class TraceSimulator(MemoryFrontend):
             self.stats.prefetch_fetches += 1
         self.l1.fill(addr, prefetched=prefetched)
         return True
+
+    # ------------------------------------------------------------------ #
+    # Trace replay                                                       #
+    # ------------------------------------------------------------------ #
+
+    def replay(self, trace: Union[Trace, PackedTrace]) -> SimulationStats:
+        """Drive the simulator from a captured trace instead of a live
+        workload; returns the final stats (:meth:`finish` is applied).
+
+        A :class:`PackedTrace` replays through index-based iteration over
+        the packed columns (the hot path: one tuple unpack per event, no
+        dataclass attribute dispatch); a :class:`Trace` replays its event
+        objects directly and serves as the reference interpreter for the
+        packed path's bit-equality tests.
+
+        Replay is *open loop*: recorded values are fed to the technique
+        exactly as captured, so an LVA run cannot steer the address
+        stream the way a live (closed-loop) execution does. It measures
+        cache/approximator behaviour on a fixed load stream — the same
+        caveat as every trace-driven simulator, including the paper's
+        phase-2 — and is therefore not a substitute for
+        :func:`repro.experiments.common.run_technique`'s live phase-1
+        runs, whose output error depends on the clobbered values.
+        """
+        instructions = self.instructions
+        if isinstance(trace, PackedTrace):
+            serve_load = self._serve_load
+            serve_store = self._serve_store
+            for pc, addr, value, is_float, approximable, gap, is_store in (
+                trace.event_tuples()
+            ):
+                instructions += gap + 1
+                self.instructions = instructions
+                if is_store:
+                    serve_store(addr)
+                else:
+                    serve_load(pc, addr, value, approximable, is_float)
+        else:
+            for event in trace.events:
+                instructions += event.gap + 1
+                self.instructions = instructions
+                if event.is_store:
+                    self._serve_store(event.addr)
+                else:
+                    self._serve_load(
+                        event.pc,
+                        event.addr,
+                        event.value,
+                        event.approximable,
+                        event.is_float,
+                    )
+        return self.finish()
 
     # ------------------------------------------------------------------ #
     # Lifecycle                                                          #

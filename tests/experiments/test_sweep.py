@@ -146,6 +146,12 @@ class TestRunnerIntegration:
         assert seeds == {0, 1}
 
     def test_unswept_experiments_have_no_points(self):
-        for name in ("fig10", "fig11", "table2", "ablate-noc-model"):
+        for name in ("table2", "ablate-noc-model"):
             assert name in runner.EXPERIMENTS
             assert name not in runner.POINTS
+
+    def test_fullsystem_experiments_declare_points(self):
+        for name in ("fig10", "fig11"):
+            assert name in runner.POINTS
+            pts = runner.POINTS[name](small=True, seed=0)
+            assert pts and all(p.is_fullsystem for p in pts), name
