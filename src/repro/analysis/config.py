@@ -50,6 +50,16 @@ class AnalysisConfig:
         telemetry_modules: Packages whose module-level API LVA006
             forbids calling from hot methods (hook resolution belongs in
             ``__init__``, not on the per-load path).
+        kernel_modules: Modules holding the vectorized replay kernels;
+            LVA003 additionally requires that their batch-contract
+            functions (named per ``kernel_fn_suffixes``) contain no
+            per-event Python loops, comprehensions, or event-field
+            attribute reads — those functions must stay whole-column
+            numpy passes.
+        kernel_fn_suffixes: Function-name suffixes marking the batch
+            contract inside ``kernel_modules``.
+        event_fields: Per-event attribute names whose read inside a
+            kernel function betrays scalar (object-at-a-time) access.
     """
 
     sim_packages: Tuple[str, ...] = (
@@ -96,6 +106,18 @@ class AnalysisConfig:
     stats_packages: Tuple[str, ...] = field(default=())
     telemetry_hook_attrs: Tuple[str, ...] = ("_tel",)
     telemetry_modules: Tuple[str, ...] = ("repro.telemetry",)
+    kernel_modules: Tuple[str, ...] = ("repro.sim.kernels",)
+    kernel_fn_suffixes: Tuple[str, ...] = ("_kernel", "_span", "_spans")
+    event_fields: Tuple[str, ...] = (
+        "tid",
+        "pc",
+        "addr",
+        "value",
+        "is_float",
+        "approximable",
+        "gap",
+        "is_store",
+    )
 
     def effective_stats_packages(self) -> Tuple[str, ...]:
         """LVA005 scope: explicit override, else sim packages + the CPU model."""
@@ -117,6 +139,17 @@ class AnalysisConfig:
 
     def is_stats_module(self, module: str) -> bool:
         return in_packages(module, self.effective_stats_packages())
+
+    def is_kernel_module(self, module: str) -> bool:
+        return in_packages(module, self.kernel_modules)
+
+    def is_kernel_function(self, function_name: str) -> bool:
+        """True when a function name carries the batch (whole-column)
+        contract inside a kernel module."""
+        for suffix in self.kernel_fn_suffixes:
+            if function_name.endswith(suffix):
+                return True
+        return False
 
     def is_worker_entry(self, function_name: str) -> bool:
         """True when a function in a worker module is a worker entry point."""

@@ -660,9 +660,12 @@ def run_fullsystem(
     started = time.perf_counter()
     result = FullSystemSimulator(config).run(trace)
     if telemetry.enabled():
+        from repro.sim import kernels
+
         elapsed = time.perf_counter() - started
         registry = telemetry.metrics()
         registry.counter("trace.replay.count").add(1)
+        registry.counter(f"trace.replay.path.{kernels.select_fullsystem_path()}").add(1)
         if elapsed > 0:
             registry.gauge("trace.replay.events_per_s").set(len(trace) / elapsed)
     return result

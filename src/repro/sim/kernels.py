@@ -1,0 +1,963 @@
+"""Vectorized replay kernels over packed trace columns.
+
+:meth:`~repro.sim.tracesim.TraceSimulator.replay` is the hot path under
+every phase-1 sweep point, and the scalar interpreters execute one Python
+iteration per event. This module replays a :class:`~repro.sim.trace.
+PackedTrace` in batched passes instead:
+
+1. **Decompose** the address column into (set, tag) pairs and segment the
+   trace into *spans* at store boundaries (``*_kernel`` functions —
+   pure numpy, one pass per column).
+2. **Oracle** the L1: with every miss fetching its block (true for
+   PRECISE and LVP always, and for LVA at approximation degree 0 with no
+   fault injection), the hit/miss outcome of every access is a pure
+   function of the (address, is_store) stream, so one tight pass over
+   the spans precomputes the entire hit mask plus the final cache
+   contents. Move-to-end recency lists are exactly LRU here because the
+   scalar cache's use clocks are strictly increasing (victims are unique).
+3. **Approximator pipeline** as array operations: the context hash of
+   every missing PC in a handful of numpy folds
+   (:func:`repro.core.hashing.context_hash_array`), the confidence-window
+   denominators for the whole miss stream in one pass, and the per-miss
+   values gathered only at miss positions. Only the saturating-counter
+   state machine itself runs per-miss, over the (much smaller) miss
+   stream, with the value-delay queue applied lazily by load ordinal —
+   bit-identical to ticking :class:`~repro.core.approximator.DelayQueue`
+   once per load, because only miss decisions observe approximator state.
+4. **Reconstruct** the architectural state (L1 sets, approximator table,
+   GHB, delay clock) so the simulator object is indistinguishable from
+   one that replayed scalar.
+
+Configurations where vector and scalar control flow can diverge — fault
+injection, telemetry sampling, degree-triggered fetch skips, prefetcher
+feedback, non-LRU replacement — downgrade to the scalar interpreter
+(see :func:`vector_ineligibility`); dynamic downgrades warn once per
+process. Path selection is driven by ``REPRO_REPLAY_KERNEL``
+(``object`` | ``packed`` | ``vector``; default ``vector`` when
+eligible). ``REPRO_REPLAY_JIT=1`` swaps the oracle loop for a numba-
+compiled kernel when numba is importable (optional dependency; silently
+import-guarded).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from itertools import repeat
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from repro.core.confidence import confidence_update_steps
+from repro.core.entry import ApproximatorEntry
+from repro.core.functions import COMPUTE_FUNCTIONS
+from repro.core.hashing import context_hash, context_hash_array
+from repro.errors import ConfigurationError
+from repro.mem.block import CacheBlock, CoherenceState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
+    from repro.sim.trace import PackedTrace
+    from repro.sim.tracesim import TraceSimulator
+
+Number = Union[int, float]
+
+#: Environment variable selecting the replay path.
+ENV_KERNEL = "REPRO_REPLAY_KERNEL"
+#: Environment variable enabling the numba oracle (import-guarded).
+ENV_JIT = "REPRO_REPLAY_JIT"
+#: The recognised replay paths, in increasing order of vectorization.
+REPLAY_PATHS = ("object", "packed", "vector")
+
+
+class ReplayDowngradeWarning(RuntimeWarning):
+    """The vector kernel was requested (or defaulted) but cannot run."""
+
+
+#: Downgrade reasons already warned about (warn once per process).
+_warned: Set[str] = set()
+
+
+def reset_downgrade_warnings() -> None:
+    """Forget which downgrade reasons have warned (test isolation)."""
+    _warned.clear()
+
+
+def _warn_once(reason: str) -> None:
+    if reason in _warned:
+        return
+    _warned.add(reason)
+    warnings.warn(
+        f"vector replay kernel unavailable ({reason}); "
+        "falling back to the scalar packed interpreter",
+        ReplayDowngradeWarning,
+        stacklevel=3,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Path selection                                                          #
+# ---------------------------------------------------------------------- #
+
+
+def requested_path() -> Optional[str]:
+    """The replay path named by ``REPRO_REPLAY_KERNEL``, or None if unset.
+
+    Raises:
+        ConfigurationError: on an unrecognised value.
+    """
+    raw = os.environ.get(ENV_KERNEL, "").strip().lower()
+    if not raw:
+        return None
+    if raw not in REPLAY_PATHS:
+        known = ", ".join(REPLAY_PATHS)
+        raise ConfigurationError(
+            f"{ENV_KERNEL}={raw!r} is not a replay path (known: {known})"
+        )
+    return raw
+
+
+def vector_ineligibility(sim: "TraceSimulator") -> Optional[Tuple[str, bool]]:
+    """Why ``sim`` cannot replay through the vector kernel, or ``None``.
+
+    Returns ``(reason, dynamic)``; *dynamic* reasons (fault injection,
+    telemetry sampling) can differ between otherwise-identical runs, so
+    auto-downgrades warn about them even when the kernel was not
+    explicitly forced. Inherent configuration reasons (prefetch mode,
+    approximation degree, exotic replacement) downgrade silently unless
+    ``REPRO_REPLAY_KERNEL=vector`` was explicit.
+    """
+    if sim._mem_faults is not None:
+        return "fault injection active (REPRO_INJECT)", True
+    if sim._tel is not None:
+        return "telemetry sampling active", True
+    mode = sim.mode.value
+    if mode == "prefetch":
+        return "prefetch fills feed back into the miss stream", False
+    if mode == "lva" and sim.approximator.config.approximation_degree > 0:
+        return "approximation degree > 0 skips fetches data-dependently", False
+    l1 = sim.l1
+    if not l1._plain_lru:
+        return "non-LRU L1 replacement policy", False
+    if (
+        l1._clock != 0
+        or l1.stats.invalidations != 0
+        or sim.stats.loads != 0
+        or sim.stats.stores != 0
+        or sim.instructions != 0
+    ):
+        return "simulator already holds architectural state", False
+    if sim.approximator is not None and (
+        sim.approximator.allocated_entries or sim.approximator.stats.lookups
+    ):
+        return "approximator already holds architectural state", False
+    if sim.predictor is not None and (
+        sim.predictor.allocated_entries or sim.predictor.stats.lookups
+    ):
+        return "predictor already holds architectural state", False
+    return None
+
+
+def select_path(sim: "TraceSimulator") -> str:
+    """Resolve the replay path for one :meth:`TraceSimulator.replay` call.
+
+    ``REPRO_REPLAY_KERNEL=object|packed`` forces the scalar interpreters;
+    ``vector`` (and the unset default) runs the kernel when eligible and
+    downgrades to ``packed`` otherwise — warning once when the downgrade
+    reason is dynamic, or whenever ``vector`` was explicitly forced.
+    """
+    raw = requested_path()
+    if raw in ("object", "packed"):
+        return raw
+    forced = raw == "vector"
+    reason = vector_ineligibility(sim)
+    if reason is None:
+        return "vector"
+    message, dynamic = reason
+    if forced or dynamic:
+        _warn_once(message)
+    return "packed"
+
+
+def select_fullsystem_path() -> str:
+    """The replay path for :meth:`FullSystemSimulator.run` (env only).
+
+    The full-system scheduling loop is genuinely sequential (NoC link
+    reservations, MSHR merges and degree-triggered fetch skips all feed
+    back into timing), so the ``vector`` path vectorizes the per-core
+    queue construction over ``per_core_indices`` spans and keeps the
+    scheduling loop scalar; every path is bit-identical and always
+    eligible.
+    """
+    raw = requested_path()
+    return raw if raw is not None else "vector"
+
+
+# ---------------------------------------------------------------------- #
+# Pure-numpy passes (the `*_kernel` naming contract: no per-event Python  #
+# loops, no per-event dataclass attribute reads — see lva-lint LVA003)    #
+# ---------------------------------------------------------------------- #
+
+
+def decompose_addr_kernel(
+    addr: np.ndarray, offset_bits: int, index_mask: int, index_bits: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split an address column into (set index, block tag) columns.
+
+    The array twin of :meth:`SetAssociativeCache._decompose`, one shift
+    and one mask per column.
+    """
+    block = addr >> offset_bits
+    return block & index_mask, block >> index_bits
+
+
+def segment_spans_kernel(
+    is_store: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Boundaries of the maximal store-free spans of a trace.
+
+    Returns ``(starts, ends)`` such that ``events[starts[k]:ends[k]]``
+    are all loads and, for every span but the last, ``events[ends[k]]``
+    is the store separating it from the next span. A store-free trace is
+    one whole-trace span; a store-only trace is all empty spans.
+    """
+    boundaries = np.flatnonzero(is_store)
+    starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries + 1))
+    ends = np.concatenate((boundaries, np.array([len(is_store)], dtype=np.int64)))
+    return starts, ends
+
+
+def load_ordinal_kernel(is_store: np.ndarray) -> np.ndarray:
+    """1-based load ordinal of every event (stores inherit the count).
+
+    Ordinal *k* means "the k-th load instruction": the value-delay queue
+    is clocked in this unit, so a training pushed at load *k* with delay
+    *d* becomes visible to decisions from load ``k + d`` onwards.
+    """
+    return np.cumsum(~is_store)
+
+
+def window_denominator_kernel(
+    value_f: np.ndarray,
+    value_i: np.ndarray,
+    value_is_int: np.ndarray,
+    window: float,
+) -> np.ndarray:
+    """Confidence-window denominators for a span of actual values.
+
+    Elementwise ``window * |actual|`` with the scalar path's absolute
+    fallback of ``window`` when the actual value is exactly zero — the
+    comparison side of the confidence update, batched; the saturating
+    accumulation stays in the flat core because it is state-dependent.
+    """
+    actual = np.where(value_is_int, value_i.astype(np.float64), value_f)
+    magnitude = np.abs(actual)
+    return np.where(magnitude != 0.0, window * magnitude, window)
+
+
+# ---------------------------------------------------------------------- #
+# The L1 oracle                                                           #
+# ---------------------------------------------------------------------- #
+
+#: Built on first use when REPRO_REPLAY_JIT=1 and numba imports.
+_JIT_ORACLE = None
+_JIT_TRIED = False
+
+
+def _build_jit_oracle():
+    """Compile the numba oracle, or return None when numba is missing."""
+    try:
+        import numba
+    except ImportError:
+        return None
+
+    @numba.njit(cache=False)
+    def oracle(set_idx, btag, is_store, num_sets, assoc):  # pragma: no cover
+        n = set_idx.shape[0]
+        hits = np.zeros(n, dtype=np.uint8)
+        tags = np.full((num_sets, assoc), -1, dtype=np.int64)
+        last = np.zeros((num_sets, assoc), dtype=np.int64)
+        dirty = np.zeros((num_sets, assoc), dtype=np.uint8)
+        counters = np.zeros(3, dtype=np.int64)  # store hits, evictions, wbs
+        clock = 0
+        for i in range(n):
+            s = set_idx[i]
+            t = btag[i]
+            clock += 1
+            way = -1
+            for w in range(assoc):
+                if tags[s, w] == t:
+                    way = w
+                    break
+            if is_store[i]:
+                if way >= 0:
+                    counters[0] += 1
+                    last[s, way] = clock
+                    dirty[s, way] = 1
+                continue
+            if way >= 0:
+                hits[i] = 1
+                last[s, way] = clock
+                continue
+            empty = -1
+            for w in range(assoc):
+                if tags[s, w] == -1:
+                    empty = w
+                    break
+            if empty < 0:
+                victim = 0
+                for w in range(1, assoc):
+                    if last[s, w] < last[s, victim]:
+                        victim = w
+                counters[1] += 1
+                if dirty[s, victim] == 1:
+                    counters[2] += 1
+                empty = victim
+            tags[s, empty] = t
+            last[s, empty] = clock
+            dirty[s, empty] = 0
+        return hits, counters, tags, last, dirty
+
+    return oracle
+
+
+def _jit_oracle_enabled() -> bool:
+    global _JIT_ORACLE, _JIT_TRIED
+    if os.environ.get(ENV_JIT, "") != "1":
+        return False
+    if not _JIT_TRIED:
+        _JIT_TRIED = True
+        _JIT_ORACLE = _build_jit_oracle()
+        if _JIT_ORACLE is None:
+            _warn_once(f"{ENV_JIT}=1 but numba is not importable")
+    return _JIT_ORACLE is not None
+
+
+def _sets_from_ways(tags, last, dirty, num_sets: int, assoc: int):
+    """Convert the JIT oracle's way arrays to recency lists + dirty set."""
+    sets: List[List[int]] = []
+    dirty_keys: Set[Tuple[int, int]] = set()
+    for s in range(num_sets):
+        ways = []
+        for w in range(assoc):
+            t = int(tags[s, w])
+            if t >= 0:
+                ways.append((int(last[s, w]), t))
+                if dirty[s, w]:
+                    dirty_keys.add((s, t))
+        ways.sort()
+        sets.append([t for _, t in ways])
+    return sets, dirty_keys
+
+
+def _l1_oracle(
+    set_idx: np.ndarray,
+    btag: np.ndarray,
+    is_store: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    num_sets: int,
+    assoc: int,
+):
+    """Replay the (address, store) stream against an empty LRU cache.
+
+    Every load miss fills immediately (the vector-eligibility
+    precondition), so a per-set move-to-end list reproduces the scalar
+    cache exactly: use clocks are strictly increasing, making the LRU
+    victim unique, and a store miss touches no state at all
+    (write-no-allocate probes ``contains`` first).
+
+    Returns ``(hits, store_hits, evictions, writebacks, sets, dirty)``
+    where ``sets[s]`` lists the resident tags of set *s* in LRU order
+    (oldest first) and ``dirty`` holds the dirtied ``(set, tag)`` pairs.
+    """
+    if _jit_oracle_enabled():
+        hits, counters, tags, last, dirty2d = _JIT_ORACLE(
+            np.ascontiguousarray(set_idx),
+            np.ascontiguousarray(btag),
+            np.ascontiguousarray(is_store.view(np.uint8)),
+            num_sets,
+            assoc,
+        )
+        sets, dirty = _sets_from_ways(tags, last, dirty2d, num_sets, assoc)
+        return (
+            hits,
+            int(counters[0]),
+            int(counters[1]),
+            int(counters[2]),
+            sets,
+            dirty,
+        )
+
+    n = len(set_idx)
+    # A bytearray keeps the per-event hit store a C-level byte write; the
+    # numpy view is taken once at the end.
+    hits = bytearray(n)
+    sets: List[List[int]] = [[] for _ in range(num_sets)]
+    dirty: Set[Tuple[int, int]] = set()
+    store_hits = 0
+    evictions = 0
+    writebacks = 0
+    si = set_idx.tolist()
+    bt = btag.tolist()
+    span_starts = starts.tolist()
+    span_ends = ends.tolist()
+    for k in range(len(span_starts)):
+        end = span_ends[k]
+        for i in range(span_starts[k], end):
+            s = si[i]
+            t = bt[i]
+            ways = sets[s]
+            if t in ways:
+                if ways[-1] != t:
+                    ways.remove(t)
+                    ways.append(t)
+                hits[i] = 1
+            else:
+                ways.append(t)
+                if len(ways) > assoc:
+                    victim = ways[0]
+                    del ways[0]
+                    evictions += 1
+                    key = (s, victim)
+                    if key in dirty:
+                        dirty.discard(key)
+                        writebacks += 1
+        if end < n:  # the store event bounding this span
+            s = si[end]
+            t = bt[end]
+            ways = sets[s]
+            if t in ways:
+                store_hits += 1
+                if ways[-1] != t:
+                    ways.remove(t)
+                    ways.append(t)
+                dirty.add((s, t))
+    return (
+        np.frombuffer(hits, dtype=np.uint8),
+        store_hits,
+        evictions,
+        writebacks,
+        sets,
+        dirty,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Flat technique cores (miss stream only)                                 #
+# ---------------------------------------------------------------------- #
+
+
+def _values_at(packed: "PackedTrace", idx: np.ndarray) -> List[Number]:
+    """Exact Python values of the events at ``idx`` (type-preserving)."""
+    ints = packed.value_i[idx].tolist()
+    floats = packed.value_f[idx].tolist()
+    flags = packed.value_is_int[idx].tolist()
+    return [i if flag else f for i, f, flag in zip(ints, floats, flags)]
+
+
+def _lva_flat(sim: "TraceSimulator", miss: Dict[str, list]) -> Dict[str, object]:
+    """Replay the approximable-miss stream through a flat LVA table.
+
+    The direct-mapped table lives in parallel Python lists (tag / conf /
+    LHB per slot) instead of entry objects; value-delayed trainings are
+    applied lazily by load ordinal immediately before the first decision
+    that could observe them, which is exactly equivalent to per-load
+    ticking because stats are order-independent totals and only miss
+    decisions read approximator state.
+    """
+    ap = sim.approximator
+    cfg = ap.config
+    size = cfg.table_entries
+    lhb_cap = cfg.lhb_size
+    ghb_cap = cfg.ghb_size
+    delay = cfg.value_delay
+    conf_lo = cfg.confidence_min
+    conf_hi = cfg.confidence_max
+    step_max = cfg.confidence_step_max
+    window = cfg.confidence_window
+    window_is_inf = ap._window_is_inf
+    inline_window = step_max == 1 and not window_is_inf
+    gate_float = cfg.apply_confidence_to_floats
+    gate_int = cfg.apply_confidence_to_ints
+    compute = ap._compute
+    index_bits = ap._index_bits
+    tag_bits = ap._tag_bits
+    drop_bits = ap._drop_bits
+
+    is_average = compute is COMPUTE_FUNCTIONS["average"]
+
+    tags: List[int] = [-1] * size
+    confs: List[int] = [0] * size
+    lhbs: List[Optional[list]] = [None] * size
+    alloc_seq: List[int] = []
+    ghb: Optional[list] = [] if ghb_cap > 0 else None
+
+    ords = miss["ord"]
+    pcs = miss["pc"]
+    vals = miss["val"]
+    isf = miss["isf"]
+    denoms = miss["denom"]
+    midx = miss["idx"]  # None when the GHB forces live hashing
+    mtag = miss["tag"]
+    if midx is None:
+        midx = mtag = repeat(None)
+
+    lookups = tag_misses = cold_misses = lowconf = 0
+    approximations = covered = 0
+    trainings = stale = inc = dec = 0
+
+    # Pending trainings in push order; due ordinals are non-decreasing
+    # (clock + constant delay), so one cursor suffices.
+    pend: List[tuple] = []
+    push = pend.append
+    pi = 0
+    pushed = 0
+
+    for ordinal, pc, value, is_float, denom, idx, tag in zip(
+        ords, pcs, vals, isf, denoms, midx, mtag
+    ):
+        # Apply every training due strictly before this decision.
+        while pi < pushed and pend[pi][0] <= ordinal:
+            _, t_idx, t_tag, t_shadow, t_denom, t_actual = pend[pi]
+            pi += 1
+            trainings += 1
+            if ghb is not None:
+                ghb.append(t_actual)
+                if len(ghb) > ghb_cap:
+                    del ghb[0]
+            if tags[t_idx] != t_tag:
+                stale += 1
+                continue
+            lhb = lhbs[t_idx]
+            lhb.append(t_actual)
+            if len(lhb) > lhb_cap:
+                del lhb[0]
+            if t_shadow is not None:
+                if inline_window:
+                    steps = 1 if abs(t_shadow - t_actual) <= t_denom else -1
+                else:
+                    steps = confidence_update_steps(
+                        t_shadow, t_actual, window, step_max
+                    )
+                conf = confs[t_idx] + steps
+                if conf > conf_hi:
+                    conf = conf_hi
+                elif conf < conf_lo:
+                    conf = conf_lo
+                confs[t_idx] = conf
+                if steps > 0:
+                    inc += 1
+                else:
+                    dec += 1
+
+        lookups += 1
+        if idx is None:
+            idx, tag = context_hash(pc, ghb, index_bits, tag_bits, drop_bits)
+        due = ordinal + delay
+        if tags[idx] != tag:
+            if tags[idx] == -1:
+                alloc_seq.append(idx)
+            tags[idx] = tag
+            confs[idx] = 0
+            lhbs[idx] = []
+            tag_misses += 1
+            push((due, idx, tag, None, denom, value))
+            pushed += 1
+            continue
+        lhb = lhbs[idx]
+        if not lhb:
+            cold_misses += 1
+            push((due, idx, tag, None, denom, value))
+            pushed += 1
+            continue
+        shadow = sum(lhb) / len(lhb) if is_average else compute(lhb)
+        if not is_float:
+            shadow = int(round(shadow))
+        gated = gate_float if is_float else gate_int
+        if gated and confs[idx] < 0:
+            lowconf += 1
+            push((due, idx, tag, shadow, denom, value))
+            pushed += 1
+            continue
+        approximations += 1
+        covered += 1
+        push((due, idx, tag, shadow, denom, value))
+        pushed += 1
+
+    # End-of-run drain: finish() trains every pending item in FIFO order.
+    while pi < pushed:
+        _, t_idx, t_tag, t_shadow, t_denom, t_actual = pend[pi]
+        pi += 1
+        trainings += 1
+        if ghb is not None:
+            ghb.append(t_actual)
+            if len(ghb) > ghb_cap:
+                del ghb[0]
+        if tags[t_idx] != t_tag:
+            stale += 1
+            continue
+        lhb = lhbs[t_idx]
+        lhb.append(t_actual)
+        if len(lhb) > lhb_cap:
+            del lhb[0]
+        if t_shadow is not None:
+            if inline_window:
+                steps = 1 if abs(t_shadow - t_actual) <= t_denom else -1
+            else:
+                steps = confidence_update_steps(t_shadow, t_actual, window, step_max)
+            conf = confs[t_idx] + steps
+            if conf > conf_hi:
+                conf = conf_hi
+            elif conf < conf_lo:
+                conf = conf_lo
+            confs[t_idx] = conf
+            if steps > 0:
+                inc += 1
+            else:
+                dec += 1
+
+    return {
+        "covered": covered,
+        "lookups": lookups,
+        "tag_misses": tag_misses,
+        "cold_misses": cold_misses,
+        "low_confidence_rejections": lowconf,
+        "approximations": approximations,
+        "trainings": trainings,
+        "stale_trainings": stale,
+        "confidence_increments": inc,
+        "confidence_decrements": dec,
+        "tags": tags,
+        "confs": confs,
+        "lhbs": lhbs,
+        "alloc_seq": alloc_seq,
+        "ghb": ghb,
+    }
+
+
+def _lvp_flat(sim: "TraceSimulator", miss: Dict[str, list]) -> Dict[str, object]:
+    """Replay the approximable-miss stream through a flat LVP table.
+
+    Same lazy-ordinal structure as :func:`_lva_flat`; the idealized
+    predictor validates the actual value against the LHB snapshot taken
+    at decision time, and — unlike the approximator — hashes the context
+    on *every* miss (memoised here per PC when the GHB is empty, which is
+    sound because the hash is then a pure function of the PC).
+    """
+    pred = sim.predictor
+    cfg = pred.config
+    size = cfg.table_entries
+    lhb_cap = cfg.lhb_size
+    ghb_cap = cfg.ghb_size
+    delay = cfg.value_delay
+    index_bits = cfg.index_bits
+    tag_bits = cfg.tag_bits
+    drop_bits = cfg.mantissa_drop_bits
+
+    tags: List[int] = [-1] * size
+    lhbs: List[Optional[list]] = [None] * size
+    alloc_seq: List[int] = []
+    ghb: Optional[list] = [] if ghb_cap > 0 else None
+
+    ords = miss["ord"]
+    pcs = miss["pc"]
+    vals = miss["val"]
+    midx = miss["idx"]  # None when the GHB forces live hashing
+    mtag = miss["tag"]
+
+    lookups = predictions = correct_c = incorrect_c = 0
+    tag_misses = cold_misses = stale = covered = 0
+
+    pend: List[tuple] = []
+    pi = 0
+
+    def train(item: tuple) -> None:
+        nonlocal correct_c, incorrect_c, stale, covered
+        _, t_idx, t_tag, snapshot, t_actual = item
+        correct = False
+        for value in snapshot:
+            if value == t_actual:
+                correct = True
+                break
+        if snapshot:
+            if correct:
+                correct_c += 1
+            else:
+                incorrect_c += 1
+        if ghb is not None:
+            ghb.append(t_actual)
+            if len(ghb) > ghb_cap:
+                del ghb[0]
+        if tags[t_idx] != t_tag:
+            stale += 1
+        else:
+            lhb = lhbs[t_idx]
+            lhb.append(t_actual)
+            if len(lhb) > lhb_cap:
+                del lhb[0]
+        if correct:
+            covered += 1
+
+    for j in range(len(ords)):
+        ordinal = ords[j]
+        while pi < len(pend) and pend[pi][0] <= ordinal:
+            train(pend[pi])
+            pi += 1
+        lookups += 1
+        if midx is not None:
+            idx = midx[j]
+            tag = mtag[j]
+        else:
+            idx, tag = context_hash(pcs[j], ghb, index_bits, tag_bits, drop_bits)
+        if tags[idx] == -1:
+            alloc_seq.append(idx)
+            tags[idx] = tag
+            lhbs[idx] = []
+            tag_misses += 1
+        elif tags[idx] != tag:
+            tags[idx] = tag
+            lhbs[idx] = []
+            tag_misses += 1
+        snapshot = tuple(lhbs[idx])
+        if not snapshot:
+            cold_misses += 1
+        else:
+            predictions += 1
+        pend.append((ordinal + delay, idx, tag, snapshot, vals[j]))
+
+    while pi < len(pend):
+        train(pend[pi])
+        pi += 1
+
+    return {
+        "covered": covered,
+        "lookups": lookups,
+        "predictions": predictions,
+        "correct": correct_c,
+        "incorrect": incorrect_c,
+        "tag_misses": tag_misses,
+        "cold_misses": cold_misses,
+        "stale_trainings": stale,
+        "tags": tags,
+        "lhbs": lhbs,
+        "alloc_seq": alloc_seq,
+        "ghb": ghb,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# State reconstruction                                                    #
+# ---------------------------------------------------------------------- #
+
+
+def _rebuild_l1(
+    sim: "TraceSimulator",
+    sets: List[List[int]],
+    dirty: Set[Tuple[int, int]],
+    accesses: int,
+    hits: int,
+    misses: int,
+    evictions: int,
+    writebacks: int,
+) -> None:
+    """Install the oracle's final cache contents into ``sim.l1``.
+
+    Recency is encoded with synthetic, strictly increasing use clocks per
+    set: only the relative per-set order matters to future LRU victim
+    selection, and every synthetic clock stays below the final clock.
+    """
+    l1 = sim.l1
+    clock = accesses + misses  # one tick per probe + one per fill
+    for s, ways in enumerate(sets):
+        frame = l1._sets[s]
+        base = clock - len(ways)
+        for position, tag in enumerate(ways):
+            block = CacheBlock(tag)
+            block.valid = True
+            block.state = CoherenceState.SHARED
+            block.dirty = (s, tag) in dirty
+            block.last_use = base + position
+            block.inserted_at = base + position
+            frame[tag] = block
+    l1._clock += clock
+    stats = l1.stats
+    stats.accesses += accesses
+    stats.hits += hits
+    stats.misses += misses
+    stats.fills += misses
+    stats.evictions += evictions
+    stats.writebacks += writebacks
+
+
+def _rebuild_table(
+    table: Dict[int, ApproximatorEntry],
+    core: Dict[str, object],
+    confidence_bits: int,
+    lhb_size: int,
+    max_degree: int,
+) -> None:
+    """Materialise flat-core table slots as ``ApproximatorEntry`` objects,
+    in first-allocation order (matching the scalar dict's insertion
+    order)."""
+    tags = core["tags"]
+    lhbs = core["lhbs"]
+    confs = core.get("confs")
+    for index in core["alloc_seq"]:
+        entry = ApproximatorEntry(tags[index], confidence_bits, lhb_size, max_degree)
+        if confs is not None:
+            entry.confidence.reset(confs[index])
+        for value in lhbs[index]:
+            entry.lhb.push(value)
+        table[index] = entry
+
+
+# ---------------------------------------------------------------------- #
+# The vector replay                                                       #
+# ---------------------------------------------------------------------- #
+
+
+def replay_vector(sim: "TraceSimulator", packed: "PackedTrace") -> None:
+    """Replay ``packed`` through the vectorized kernel pipeline.
+
+    Mutates ``sim`` (stats, L1, technique state, instruction count) into
+    exactly the state the scalar interpreter would leave behind; the
+    caller applies :meth:`TraceSimulator.finish` as usual (the value
+    delay queue is already drained, so finish only stamps totals).
+
+    Preconditions are enforced by :func:`vector_ineligibility`; calling
+    this directly on an ineligible simulator is a contract violation.
+    """
+    n = len(packed)
+    sim.instructions += n + int(packed.gap.sum())
+    if sim._delay is not None:
+        sim._delay._clock += int(np.count_nonzero(~packed.is_store))
+    if n == 0:
+        return
+
+    mode = sim.mode.value
+    is_store = packed.is_store
+    loads_mask = ~is_store
+    l1 = sim.l1
+    set_idx, btag = decompose_addr_kernel(
+        packed.addr, l1._offset_bits, l1._index_mask, l1._index_bits
+    )
+    starts, ends = segment_spans_kernel(is_store)
+    hits, store_hits, evictions, writebacks, sets, dirty = _l1_oracle(
+        set_idx,
+        btag,
+        is_store,
+        starts,
+        ends,
+        l1.config.num_sets,
+        l1.config.associativity,
+    )
+
+    loads = int(np.count_nonzero(loads_mask))
+    stores = n - loads
+    load_hits = int(np.count_nonzero(hits))
+    raw_misses = loads - load_hits
+    approx_mask = loads_mask & packed.approximable
+    approx_loads = int(np.count_nonzero(approx_mask))
+
+    stats = sim.stats
+    stats.loads += loads
+    stats.stores += stores
+    stats.approx_loads += approx_loads
+    stats.raw_misses += raw_misses
+    # Every miss fetches on the vector-eligible paths (degree 0, no
+    # faults), so fetches mirror raw misses 1:1.
+    stats.fetches += raw_misses
+    if approx_loads:
+        stats.static_approx_pcs.update(np.unique(packed.pc[approx_mask]).tolist())
+
+    _rebuild_l1(
+        sim,
+        sets,
+        dirty,
+        loads + store_hits,
+        load_hits + store_hits,
+        raw_misses,
+        evictions,
+        writebacks,
+    )
+
+    if mode == "precise":
+        return
+
+    miss_mask = approx_mask & (hits == 0)
+    miss_idx = np.flatnonzero(miss_mask)
+    miss_pc = packed.pc[miss_idx]
+    config = (sim.approximator or sim.predictor).config
+    if config.ghb_size == 0:
+        unique_pc, inverse = np.unique(miss_pc, return_inverse=True)
+        u_idx, u_tag = context_hash_array(
+            unique_pc.astype(np.int64), config.index_bits, config.tag_bits
+        )
+        midx = u_idx[inverse].tolist()
+        mtag = u_tag[inverse].tolist()
+        pc_hashes = dict(
+            zip(unique_pc.tolist(), zip(u_idx.tolist(), u_tag.tolist()))
+        )
+    else:
+        midx = mtag = None
+        pc_hashes = None
+
+    miss = {
+        "ord": load_ordinal_kernel(is_store)[miss_idx].tolist(),
+        "pc": miss_pc.tolist(),
+        "val": _values_at(packed, miss_idx),
+        "isf": packed.is_float[miss_idx].tolist(),
+        "denom": window_denominator_kernel(
+            packed.value_f[miss_idx],
+            packed.value_i[miss_idx],
+            packed.value_is_int[miss_idx],
+            config.confidence_window,
+        ).tolist(),
+        "idx": midx,
+        "tag": mtag,
+    }
+
+    if mode == "lva":
+        core = _lva_flat(sim, miss)
+        ap = sim.approximator
+        stats.covered_misses += core["covered"]
+        a_stats = ap.stats
+        a_stats.lookups += core["lookups"]
+        a_stats.tag_misses += core["tag_misses"]
+        a_stats.cold_misses += core["cold_misses"]
+        a_stats.low_confidence_rejections += core["low_confidence_rejections"]
+        a_stats.approximations += core["approximations"]
+        a_stats.trainings += core["trainings"]
+        a_stats.stale_trainings += core["stale_trainings"]
+        a_stats.confidence_increments += core["confidence_increments"]
+        a_stats.confidence_decrements += core["confidence_decrements"]
+        a_stats.static_pcs.update(np.unique(miss_pc).tolist())
+        _rebuild_table(
+            ap._table,
+            core,
+            config.confidence_bits,
+            config.lhb_size,
+            config.approximation_degree,
+        )
+        if pc_hashes is not None:
+            ap._pc_hashes.update(pc_hashes)
+        elif core["ghb"]:
+            for value in core["ghb"]:
+                ap.ghb.push(value)
+    else:  # lvp
+        core = _lvp_flat(sim, miss)
+        pred = sim.predictor
+        stats.covered_misses += core["covered"]
+        p_stats = pred.stats
+        p_stats.lookups += core["lookups"]
+        p_stats.predictions += core["predictions"]
+        p_stats.correct += core["correct"]
+        p_stats.incorrect += core["incorrect"]
+        p_stats.tag_misses += core["tag_misses"]
+        p_stats.cold_misses += core["cold_misses"]
+        p_stats.stale_trainings += core["stale_trainings"]
+        p_stats.static_pcs.update(np.unique(miss_pc).tolist())
+        _rebuild_table(pred._table, core, config.confidence_bits, config.lhb_size, 0)
+        if core["ghb"]:
+            for value in core["ghb"]:
+                pred.ghb.push(value)

@@ -30,6 +30,7 @@ from repro.errors import ConfigurationError
 from repro.mem.cache import CacheConfig, SetAssociativeCache
 from repro.prefetch.base import Prefetcher
 from repro.prefetch.ghb import GHBPrefetcher
+from repro.sim import kernels
 from repro.sim.frontend import MemoryFrontend
 from repro.sim.stats import SimulationStats
 from repro.sim.trace import PackedTrace, Trace, TraceRecorder
@@ -214,11 +215,19 @@ class TraceSimulator(MemoryFrontend):
         """Drive the simulator from a captured trace instead of a live
         workload; returns the final stats (:meth:`finish` is applied).
 
-        A :class:`PackedTrace` replays through index-based iteration over
-        the packed columns (the hot path: one tuple unpack per event, no
-        dataclass attribute dispatch); a :class:`Trace` replays its event
-        objects directly and serves as the reference interpreter for the
-        packed path's bit-equality tests.
+        Three replay paths exist, selected by ``REPRO_REPLAY_KERNEL``
+        (see :mod:`repro.sim.kernels`):
+
+        * ``object`` — the reference interpreter over event objects;
+        * ``packed`` — the scalar interpreter over packed column tuples
+          (one tuple unpack per event, no dataclass dispatch);
+        * ``vector`` — the batched numpy kernels (the default whenever
+          the configuration is eligible; otherwise the replay downgrades
+          to ``packed``, warning when the reason is dynamic).
+
+        All three are bit-identical by contract (the equality pins live in
+        ``tests/sim/test_kernels.py`` and
+        ``tests/fullsystem/test_packed_replay.py``).
 
         Replay is *open loop*: recorded values are fed to the technique
         exactly as captured, so an LVA run cannot steer the address
@@ -229,33 +238,30 @@ class TraceSimulator(MemoryFrontend):
         :func:`repro.experiments.common.run_technique`'s live phase-1
         runs, whose output error depends on the clobbered values.
         """
+        path = kernels.select_path(self)
+        if path == "vector":
+            packed = trace.pack() if isinstance(trace, Trace) else trace
+            kernels.replay_vector(self, packed)
+            return self.finish()
+        if path == "object":
+            source = trace.to_trace() if isinstance(trace, PackedTrace) else trace
+            events = (
+                (e.pc, e.addr, e.value, e.is_float, e.approximable, e.gap, e.is_store)
+                for e in source.events
+            )
+        else:  # packed
+            packed = trace.pack() if isinstance(trace, Trace) else trace
+            events = iter(packed.event_tuples())
         instructions = self.instructions
-        if isinstance(trace, PackedTrace):
-            serve_load = self._serve_load
-            serve_store = self._serve_store
-            for pc, addr, value, is_float, approximable, gap, is_store in (
-                trace.event_tuples()
-            ):
-                instructions += gap + 1
-                self.instructions = instructions
-                if is_store:
-                    serve_store(addr)
-                else:
-                    serve_load(pc, addr, value, approximable, is_float)
-        else:
-            for event in trace.events:
-                instructions += event.gap + 1
-                self.instructions = instructions
-                if event.is_store:
-                    self._serve_store(event.addr)
-                else:
-                    self._serve_load(
-                        event.pc,
-                        event.addr,
-                        event.value,
-                        event.approximable,
-                        event.is_float,
-                    )
+        serve_load = self._serve_load
+        serve_store = self._serve_store
+        for pc, addr, value, is_float, approximable, gap, is_store in events:
+            instructions += gap + 1
+            self.instructions = instructions
+            if is_store:
+                serve_store(addr)
+            else:
+                serve_load(pc, addr, value, approximable, is_float)
         return self.finish()
 
     # ------------------------------------------------------------------ #

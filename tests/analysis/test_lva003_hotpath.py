@@ -163,3 +163,97 @@ class TestHotMethodAllocations:
             )
             == []
         )
+
+
+class TestKernelFunctions:
+    """The batch contract of the vectorized replay kernels: functions
+    named ``*_kernel``/``*_span(s)`` in kernel modules must be
+    whole-column numpy passes."""
+
+    MODULE = "repro.sim.kernels"
+
+    def test_per_event_loop_in_kernel_fires(self):
+        assert _hits(
+            """\
+            def decompose_addr_kernel(addrs, offset_bits):
+                out = []
+                for a in addrs:
+                    out.append(a >> offset_bits)
+                return out
+            """,
+            module=self.MODULE,
+        ) == [(3, "LVA003")]
+
+    def test_while_loop_in_kernel_fires(self):
+        assert _hits(
+            """\
+            def segment_spans_kernel(is_store):
+                i = 0
+                while i < len(is_store):
+                    i += 1
+            """,
+            module=self.MODULE,
+        ) == [(3, "LVA003")]
+
+    def test_comprehension_in_kernel_fires(self):
+        assert _hits(
+            """\
+            def load_ordinal_kernel(is_store):
+                return [not s for s in is_store]
+            """,
+            module=self.MODULE,
+        ) == [(2, "LVA003")]
+
+    def test_event_field_read_in_kernel_fires(self):
+        assert _hits(
+            """\
+            def window_denominator_span(events, window):
+                return events[0].value * window
+            """,
+            module=self.MODULE,
+        ) == [(2, "LVA003")]
+
+    def test_whole_column_numpy_pass_is_clean(self):
+        assert (
+            _hits(
+                """\
+                import numpy as np
+
+
+                def decompose_addr_kernel(addr, offset_bits, index_mask, index_bits):
+                    block = addr >> offset_bits
+                    return block & index_mask, block >> index_bits
+                """,
+                module=self.MODULE,
+            )
+            == []
+        )
+
+    def test_non_kernel_function_may_loop(self):
+        # The scalar flat cores and rebuild helpers iterate by design;
+        # only the suffix-named batch functions carry the contract.
+        assert (
+            _hits(
+                """\
+                def _lva_flat(sim, miss):
+                    total = 0
+                    for value in miss["val"]:
+                        total += value
+                    return total
+                """,
+                module=self.MODULE,
+            )
+            == []
+        )
+
+    def test_kernel_names_outside_kernel_modules_are_exempt(self):
+        assert (
+            _hits(
+                """\
+                def resize_kernel(rows):
+                    return [r for r in rows]
+                """,
+                module="repro.mem.cache",
+            )
+            == []
+        )

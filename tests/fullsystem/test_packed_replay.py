@@ -54,6 +54,18 @@ class TestFullSystemBitEquality:
         packed = FullSystemSimulator(FullSystemConfig()).run(trace.pack())
         assert_results_equal(reference, packed)
 
+    @pytest.mark.parametrize("path", ["object", "packed", "vector"])
+    def test_every_run_path_matches_replay_events(self, path, monkeypatch):
+        trace = capture("canneal")
+        config = FullSystemConfig(
+            approximate=True,
+            approximator=ApproximatorConfig(approximation_degree=4),
+        )
+        reference = FullSystemSimulator(config).replay_events(trace)
+        monkeypatch.setenv("REPRO_REPLAY_KERNEL", path)
+        pinned = FullSystemSimulator(config).run(trace.pack())
+        assert_results_equal(reference, pinned)
+
     @pytest.mark.parametrize("name", BASELINE_WORKLOADS)
     def test_packed_run_matches_object_reference_with_lva(self, name):
         trace = capture(name)
@@ -76,8 +88,18 @@ class TestTraceSimReplayBitEquality:
     @pytest.mark.parametrize(
         "mode", [Mode.PRECISE, Mode.LVA, Mode.LVP, Mode.PREFETCH]
     )
-    def test_packed_replay_matches_object_replay(self, mode):
+    @pytest.mark.parametrize("path", ["packed", "vector"])
+    def test_every_replay_path_matches_object_replay(self, mode, path, monkeypatch):
+        import warnings
+
+        from repro.sim import kernels
+
         trace = capture("swaptions")
+        monkeypatch.setenv(kernels.ENV_KERNEL, "object")
         object_stats = TraceSimulator(mode).replay(trace)
-        packed_stats = TraceSimulator(mode).replay(trace.pack())
-        assert packed_stats == object_stats
+        monkeypatch.setenv(kernels.ENV_KERNEL, path)
+        with warnings.catch_warnings():
+            # PREFETCH pinned to vector downgrades with a warning.
+            warnings.simplefilter("ignore", kernels.ReplayDowngradeWarning)
+            pinned_stats = TraceSimulator(mode).replay(trace.pack())
+        assert pinned_stats == object_stats

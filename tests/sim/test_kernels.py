@@ -1,0 +1,370 @@
+"""Tests for the vectorized replay kernels (`repro.sim.kernels`).
+
+The vector path's contract is *bit-equality* with the scalar reference
+interpreter: same `SimulationStats`, same cache counters, same technique
+counters, on every eligible configuration — plus a warned, stats-identical
+downgrade to the packed interpreter everywhere else.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import (
+    ApproximatorConfig,
+    Mode,
+    TraceRecorder,
+    TraceSimulator,
+    get_workload,
+    telemetry,
+)
+from repro.core.config import INFINITE_WINDOW
+from repro.core.confidence import confidence_update_steps, confidence_update_steps_array
+from repro.core.hashing import context_hash, context_hash_array, fold_array
+from repro.errors import ConfigurationError
+from repro.experiments.common import BASELINE_WORKLOADS
+from repro.faults.memory import INJECT_ENV
+from repro.mem.replacement import FIFOPolicy
+from repro.mem.cache import SetAssociativeCache
+from repro.sim import kernels
+from repro.sim.trace import Trace
+
+MODES = [Mode.PRECISE, Mode.LVA, Mode.LVP, Mode.PREFETCH]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warn_state():
+    """Warn-once state is process-global; isolate it per test."""
+    kernels.reset_downgrade_warnings()
+    yield
+    kernels.reset_downgrade_warnings()
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """One small captured trace (with stores) per baseline workload."""
+    captured = {}
+    for name in BASELINE_WORKLOADS:
+        recorder = TraceRecorder(record_stores=True)
+        sim = TraceSimulator(Mode.PRECISE, recorder=recorder)
+        get_workload(name, small=True).execute(sim, 3)
+        sim.finish()
+        captured[name] = recorder.trace
+    return captured
+
+
+def replay_on(trace, mode, path, monkeypatch, config=None):
+    monkeypatch.setenv(kernels.ENV_KERNEL, path)
+    sim = TraceSimulator(mode, approximator_config=config)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", kernels.ReplayDowngradeWarning)
+        stats = sim.replay(trace.pack())
+    monkeypatch.delenv(kernels.ENV_KERNEL)
+    return stats, sim
+
+
+def assert_same_state(a_sim, b_sim):
+    """Equality beyond SimulationStats: cache + technique counters."""
+    assert a_sim.l1.stats == b_sim.l1.stats
+    assert a_sim.instructions == b_sim.instructions
+    for attr in ("approximator", "predictor"):
+        a_tech, b_tech = getattr(a_sim, attr), getattr(b_sim, attr)
+        assert (a_tech is None) == (b_tech is None)
+        if a_tech is not None:
+            assert a_tech.stats == b_tech.stats
+            assert a_tech.allocated_entries == b_tech.allocated_entries
+            assert list(a_tech.ghb) == list(b_tech.ghb)
+            for index, entry in a_tech._table.items():
+                other = b_tech._table[index]
+                assert entry.tag == other.tag
+                assert entry.confidence.value == other.confidence.value
+                assert list(entry.lhb) == list(other.lhb)
+
+
+class TestBitEquality:
+    """The acceptance pin: vector == object on all workloads × modes."""
+
+    @pytest.mark.parametrize("name", BASELINE_WORKLOADS)
+    @pytest.mark.parametrize("mode", MODES)
+    def test_vector_matches_object_reference(self, name, mode, traces, monkeypatch):
+        trace = traces[name]
+        ref_stats, ref_sim = replay_on(trace, mode, "object", monkeypatch)
+        vec_stats, vec_sim = replay_on(trace, mode, "vector", monkeypatch)
+        assert vec_stats == ref_stats
+        assert_same_state(vec_sim, ref_sim)
+
+
+SWEEP_CONFIGS = [
+    ApproximatorConfig(),
+    ApproximatorConfig(ghb_size=2),
+    ApproximatorConfig(ghb_size=2, mantissa_drop_bits=8),
+    ApproximatorConfig(confidence_window=INFINITE_WINDOW),
+    ApproximatorConfig(confidence_window=0.0),
+    ApproximatorConfig(confidence_step_max=3),
+    ApproximatorConfig(apply_confidence_to_ints=True),
+    ApproximatorConfig(apply_confidence_to_floats=False),
+    ApproximatorConfig(lhb_size=1),
+    ApproximatorConfig(compute_fn="last"),
+    ApproximatorConfig(compute_fn="stride"),
+    ApproximatorConfig(compute_fn="delta"),
+    ApproximatorConfig(table_entries=64, tag_bits=8),
+    ApproximatorConfig(value_delay=0),
+    ApproximatorConfig(value_delay=9),
+]
+
+
+class TestConfigSweepEquality:
+    """Vector equality across the phase-1 design space, both techniques."""
+
+    @pytest.mark.parametrize("config", SWEEP_CONFIGS)
+    @pytest.mark.parametrize("mode", [Mode.LVA, Mode.LVP])
+    def test_vector_matches_packed(self, config, mode, traces, monkeypatch):
+        trace = traces["swaptions"]
+        ref_stats, ref_sim = replay_on(trace, mode, "packed", monkeypatch, config)
+        vec_stats, vec_sim = replay_on(trace, mode, "vector", monkeypatch, config)
+        assert vec_stats == ref_stats
+        assert_same_state(vec_sim, ref_sim)
+
+
+class TestContinuationEquality:
+    """The rebuilt architectural state must be indistinguishable: a second
+    replay on the same simulator continues exactly like the scalar one."""
+
+    @pytest.mark.parametrize("mode", [Mode.LVA, Mode.LVP])
+    def test_second_replay_continues_identically(self, mode, traces, monkeypatch):
+        first, second = traces["swaptions"], traces["blackscholes"]
+        monkeypatch.setenv(kernels.ENV_KERNEL, "packed")
+        scalar = TraceSimulator(mode)
+        scalar.replay(first.pack())
+        scalar_stats = scalar.replay(second.pack())
+        monkeypatch.setenv(kernels.ENV_KERNEL, "vector")
+        vector = TraceSimulator(mode)
+        vector.replay(first.pack())
+        with warnings.catch_warnings():
+            # The second replay downgrades (state present) — expected.
+            warnings.simplefilter("ignore", kernels.ReplayDowngradeWarning)
+            vector_stats = vector.replay(second.pack())
+        assert vector_stats == scalar_stats
+        assert_same_state(vector, scalar)
+
+
+class TestArrayOpParity:
+    """The numpy array forms must be bit-identical to their scalar twins."""
+
+    def test_fold_array_matches_scalar_fold(self, rng):
+        from repro.core.hashing import _fold
+
+        values = rng.integers(0, 2**63, size=256, dtype=np.uint64)
+        for bits in (5, 9, 21):
+            folded = fold_array(values, bits)
+            for raw, out in zip(values.tolist(), folded.tolist()):
+                assert out == _fold(raw, bits)
+
+    def test_context_hash_array_matches_scalar(self, rng):
+        pcs = rng.integers(0, 2**62, size=512, dtype=np.int64)
+        for index_bits, tag_bits in ((9, 21), (6, 8), (0, 21), (12, 4)):
+            idx, tag = context_hash_array(pcs, index_bits, tag_bits)
+            for pc, i, t in zip(pcs.tolist(), idx.tolist(), tag.tolist()):
+                assert (i, t) == context_hash(pc, (), index_bits, tag_bits)
+
+    @pytest.mark.parametrize("window", [0.0, 0.1, 2.0, INFINITE_WINDOW])
+    @pytest.mark.parametrize("step_max", [1, 3])
+    def test_confidence_steps_array_matches_scalar(self, window, step_max, rng):
+        approx = rng.normal(size=200) * 100
+        actual = rng.normal(size=200) * 100
+        # Exercise the boundary and degenerate branches explicitly.
+        approx = np.concatenate([approx, [0.0, 1.1, 5.0, np.nan, 3.0, 1.0]])
+        actual = np.concatenate([actual, [0.0, 1.0, 0.0, 1.0, np.nan, 1.0]])
+        steps = confidence_update_steps_array(approx, actual, window, step_max)
+        for a, b, s in zip(approx.tolist(), actual.tolist(), steps.tolist()):
+            assert s == confidence_update_steps(a, b, window, step_max), (a, b)
+
+    def test_decompose_addr_kernel_matches_cache(self, rng):
+        cache = SetAssociativeCache()
+        addrs = rng.integers(0, 2**40, size=128, dtype=np.int64)
+        set_idx, btag = kernels.decompose_addr_kernel(
+            addrs, cache._offset_bits, cache._index_mask, cache._index_bits
+        )
+        for addr, s, t in zip(addrs.tolist(), set_idx.tolist(), btag.tolist()):
+            assert (s, t) == cache._decompose(addr)
+
+    def test_window_denominator_kernel_matches_scalar(self):
+        value_f = np.array([0.0, -2.5, 1e300, 7.0])
+        value_i = np.array([0, 3, -9, 0], dtype=np.int64)
+        value_is_int = np.array([False, True, True, False])
+        denom = kernels.window_denominator_kernel(value_f, value_i, value_is_int, 0.1)
+        actuals = [0.0, 3, -9, 7.0]
+        expected = [0.1 * abs(a) if a != 0 else 0.1 for a in actuals]
+        assert denom.tolist() == expected
+
+
+class TestSpanKernels:
+    def test_segment_spans_no_stores_is_one_span(self):
+        starts, ends = kernels.segment_spans_kernel(np.zeros(5, dtype=bool))
+        assert starts.tolist() == [0]
+        assert ends.tolist() == [5]
+
+    def test_segment_spans_all_stores_is_empty_spans(self):
+        starts, ends = kernels.segment_spans_kernel(np.ones(3, dtype=bool))
+        assert starts.tolist() == [0, 1, 2, 3]
+        assert ends.tolist() == [0, 1, 2, 3]
+
+    def test_segment_spans_mixed(self):
+        is_store = np.array([False, True, False, False, True])
+        starts, ends = kernels.segment_spans_kernel(is_store)
+        assert starts.tolist() == [0, 2, 5]
+        assert ends.tolist() == [1, 4, 5]
+
+    def test_load_ordinals_skip_stores(self):
+        is_store = np.array([False, True, False, False])
+        assert kernels.load_ordinal_kernel(is_store).tolist() == [1, 1, 2, 3]
+
+
+class TestPathSelection:
+    def test_invalid_path_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_KERNEL, "simd")
+        with pytest.raises(ConfigurationError):
+            kernels.requested_path()
+
+    def test_unset_env_defaults_to_vector_when_eligible(self, monkeypatch):
+        monkeypatch.delenv(kernels.ENV_KERNEL, raising=False)
+        assert kernels.select_path(TraceSimulator(Mode.LVA)) == "vector"
+
+    @pytest.mark.parametrize("path", ["object", "packed"])
+    def test_explicit_scalar_paths_win(self, path, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_KERNEL, path)
+        assert kernels.select_path(TraceSimulator(Mode.LVA)) == path
+
+    def test_prefetch_mode_is_ineligible(self):
+        reason = kernels.vector_ineligibility(TraceSimulator(Mode.PREFETCH))
+        assert reason is not None and reason[1] is False
+
+    def test_degree_is_ineligible(self):
+        sim = TraceSimulator(
+            Mode.LVA, approximator_config=ApproximatorConfig(approximation_degree=4)
+        )
+        reason = kernels.vector_ineligibility(sim)
+        assert reason is not None and "degree" in reason[0]
+
+    def test_non_lru_policy_is_ineligible(self):
+        sim = TraceSimulator(Mode.LVA)
+        sim.l1 = SetAssociativeCache(policy=FIFOPolicy(), name="L1D")
+        assert kernels.vector_ineligibility(sim) is not None
+
+    def test_dirty_simulator_is_ineligible(self, traces):
+        sim = TraceSimulator(Mode.LVA)
+        assert kernels.vector_ineligibility(sim) is None
+        sim.replay(traces["swaptions"].pack())
+        reason = kernels.vector_ineligibility(sim)
+        assert reason is not None and "architectural state" in reason[0]
+
+    def test_static_downgrade_is_silent_unless_forced(self, monkeypatch):
+        sim = TraceSimulator(Mode.PREFETCH)
+        monkeypatch.delenv(kernels.ENV_KERNEL, raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", kernels.ReplayDowngradeWarning)
+            assert kernels.select_path(sim) == "packed"
+        monkeypatch.setenv(kernels.ENV_KERNEL, "vector")
+        with pytest.warns(kernels.ReplayDowngradeWarning):
+            assert kernels.select_path(sim) == "packed"
+
+
+class TestDowngradeUnderFaults:
+    """Satellite: fault injection downgrades, warns once, and matches the
+    packed scalar path exactly."""
+
+    SPEC = "flip:prob=0.05,seed=3"
+
+    def test_warns_once_and_matches_packed(self, traces, monkeypatch):
+        trace = traces["swaptions"].pack()
+        monkeypatch.setenv(INJECT_ENV, self.SPEC)
+
+        monkeypatch.setenv(kernels.ENV_KERNEL, "packed")
+        reference = TraceSimulator(Mode.LVA).replay(trace)
+
+        monkeypatch.delenv(kernels.ENV_KERNEL)
+        with pytest.warns(kernels.ReplayDowngradeWarning, match="fault injection"):
+            downgraded = TraceSimulator(Mode.LVA).replay(trace)
+        assert downgraded == reference
+        assert downgraded.value_bit_flips > 0  # faults actually fired
+
+        # Second downgrade for the same reason is silent (warn once).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", kernels.ReplayDowngradeWarning)
+            again = TraceSimulator(Mode.LVA).replay(trace)
+        assert again == reference
+
+
+class TestDowngradeUnderTelemetry:
+    """Satellite: telemetry sampling downgrades, warns once, and matches
+    the packed scalar path exactly."""
+
+    def test_warns_once_and_matches_packed(self, traces, monkeypatch):
+        trace = traces["swaptions"].pack()
+        monkeypatch.setenv(telemetry.TELEMETRY_ENV, "1")
+        telemetry.shutdown()
+        try:
+            monkeypatch.setenv(kernels.ENV_KERNEL, "packed")
+            reference = TraceSimulator(Mode.LVA).replay(trace)
+
+            monkeypatch.delenv(kernels.ENV_KERNEL)
+            with pytest.warns(kernels.ReplayDowngradeWarning, match="telemetry"):
+                downgraded = TraceSimulator(Mode.LVA).replay(trace)
+            assert downgraded == reference
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", kernels.ReplayDowngradeWarning)
+                again = TraceSimulator(Mode.LVA).replay(trace)
+            assert again == reference
+        finally:
+            telemetry.shutdown()
+
+
+def _has_numba() -> bool:
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class TestJitOracle:
+    def test_missing_numba_warns_once_and_falls_back(self, traces, monkeypatch):
+        if _has_numba():
+            pytest.skip("numba installed; fallback path not reachable")
+        monkeypatch.setenv(kernels.ENV_JIT, "1")
+        monkeypatch.setattr(kernels, "_JIT_TRIED", False)
+        monkeypatch.setattr(kernels, "_JIT_ORACLE", None)
+        trace = traces["swaptions"].pack()
+        monkeypatch.setenv(kernels.ENV_KERNEL, "packed")
+        reference = TraceSimulator(Mode.LVA).replay(trace)
+        monkeypatch.setenv(kernels.ENV_KERNEL, "vector")
+        with pytest.warns(kernels.ReplayDowngradeWarning, match="numba"):
+            stats = TraceSimulator(Mode.LVA).replay(trace)
+        assert stats == reference
+
+    @pytest.mark.skipif(not _has_numba(), reason="numba not installed")
+    def test_jit_oracle_matches_python_oracle(self, traces, monkeypatch):
+        trace = traces["swaptions"].pack()
+        monkeypatch.setenv(kernels.ENV_KERNEL, "vector")
+        monkeypatch.delenv(kernels.ENV_JIT, raising=False)
+        plain = TraceSimulator(Mode.LVA).replay(trace)
+        monkeypatch.setenv(kernels.ENV_JIT, "1")
+        monkeypatch.setattr(kernels, "_JIT_TRIED", False)
+        monkeypatch.setattr(kernels, "_JIT_ORACLE", None)
+        jitted = TraceSimulator(Mode.LVA).replay(trace)
+        assert jitted == plain
+
+
+class TestObjectTraceInput:
+    """A Trace (object) input reaches the vector kernel via pack()."""
+
+    def test_vector_replay_accepts_object_trace(self, traces, monkeypatch):
+        trace = traces["swaptions"]
+        ref_stats, _ = replay_on(trace, Mode.LVA, "object", monkeypatch)
+        monkeypatch.setenv(kernels.ENV_KERNEL, "vector")
+        stats = TraceSimulator(Mode.LVA).replay(Trace(list(trace.events)))
+        assert stats == ref_stats
