@@ -13,10 +13,18 @@ module adds a third cache layer on disk:
   schema invalidates every stale entry at once.
 * **Records** (:class:`~repro.experiments.common.PreciseReference` /
   :class:`~repro.experiments.common.TechniqueResult`) are pickled to one
-  file per key, written atomically (temp file + ``os.replace``) so
-  concurrent writers can never expose a torn entry.
+  file per key, framed with a CRC32 content checksum
+  (:mod:`repro.experiments.integrity`) and written atomically (temp file
+  + ``os.replace``) so concurrent writers can never expose a torn entry
+  and silent damage fails closed on read.
 * Because the simulations are deterministic, serving a record from disk is
   semantically invisible: a cached result is bit-identical to recomputing.
+  A record that fails its checksum heals as a miss (warn-once +
+  ``storage.corrupt.cache`` counter) — a wrong result is never served.
+
+All I/O routes through the :mod:`repro.faults.fsfaults` hooks, so
+``REPRO_INJECT`` storage clauses can tear writes, fail renames or kill
+the process at any publish step deterministically.
 
 Disable the layer with the ``REPRO_NO_CACHE`` environment variable or the
 CLI's ``--no-cache`` flag; relocate it with ``REPRO_CACHE_DIR`` (default:
@@ -36,10 +44,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.experiments import integrity
+from repro.faults import fsfaults
+
 #: Bump when PreciseReference/TechniqueResult fields or the simulation
 #: semantics change: every existing on-disk entry becomes unreachable
 #: (different key) instead of silently deserialising stale science.
-SCHEMA_VERSION = 1
+#: v2: entries are checksum-framed (see repro.experiments.integrity);
+#: v1 raw-pickle entries are unreachable and lva-fsck reports them as
+#: schema-mismatch.
+SCHEMA_VERSION = 2
 
 #: Environment variable that disables the disk layer entirely.
 NO_CACHE_ENV = "REPRO_NO_CACHE"
@@ -150,25 +164,44 @@ class DiskCache:
         """The stored record, or None when absent or unreadable.
 
         A corrupt entry (torn by a crash mid-rename on a non-POSIX
-        filesystem, or truncated by disk pressure) counts as a miss and is
-        deleted so the slot heals on the next store.
+        filesystem, truncated by disk pressure, or bit-rotted) fails its
+        frame checksum, is reported once (``storage.corrupt.cache``
+        counter) and counts as a miss; the file is deleted so the slot
+        heals on the next store.
         """
         path = self._path(key)
         try:
+            fsfaults.on_read("cache.entry.read", path)
             with open(path, "rb") as handle:
-                record: object = pickle.load(handle)
+                blob = handle.read()
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except OSError:
             self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            return None
+        try:
+            payload = integrity.unframe(blob)
+            record: object = pickle.loads(payload)
+        except integrity.IntegrityError as exc:
+            self.stats.misses += 1
+            integrity.report_corruption("cache", path, exc.reason)
+            self._heal(path)
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            self.stats.misses += 1
+            integrity.report_corruption("cache", path, "unpickle")
+            self._heal(path)
             return None
         self.stats.hits += 1
         return record
+
+    @staticmethod
+    def _heal(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(self, key: str, record: object) -> None:
         """Store ``record`` under ``key`` atomically; failures warn once.
@@ -183,12 +216,23 @@ class DiskCache:
             return
         path = self._path(key)
         try:
+            blob = integrity.frame(
+                pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            blob = fsfaults.on_write("cache.entry.write", path, blob)
             path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            generation = integrity.next_generation()
+            fsfaults.crash_point("cache.publish.pre_write")
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".g{generation}.", suffix=".tmp"
+            )
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.write(blob)
+                fsfaults.crash_point("cache.publish.pre_rename")
+                fsfaults.on_rename("cache.entry.rename", path)
                 os.replace(tmp, path)
+                fsfaults.crash_point("cache.publish.post_rename")
             except BaseException:
                 try:
                     os.unlink(tmp)
@@ -196,6 +240,7 @@ class DiskCache:
                     pass
                 raise
             self.stats.stores += 1
+            fsfaults.damage_published("cache.entry.published", path)
         except OSError as exc:
             self._broken = True
             warnings.warn(

@@ -17,25 +17,35 @@ deliberately treated as pending on resume — a rerun retries them, and a
 resumed table therefore converges to bit-identity with an uninterrupted
 run.
 
-Every record is flushed on write, so a SIGINT/SIGTERM (or a crash of the
-parent itself) loses at most the points still in flight. A journal on a
-read-only filesystem degrades to a warn-once no-op, mirroring the disk
-cache's behaviour: robustness layers must never become a new way to
-fail.
+Every record is one whole line issued as a single ``os.write`` on an
+``O_APPEND`` descriptor — POSIX appends are atomic at this size, so two
+processes appending to the same journal interleave without tearing each
+other's lines — and carries a CRC32 (:mod:`repro.experiments.integrity`)
+so mid-file damage is detected, reported (warn-once +
+``storage.corrupt.journal`` counter) and skipped on recovery instead of
+resurrecting garbage bookkeeping. A torn *final* line (hard kill mid-
+append) is expected crash debris and is tolerated silently. A SIGINT/
+SIGTERM (or a crash of the parent itself) therefore loses at most the
+points still in flight. A journal on a read-only filesystem degrades to
+a warn-once no-op, mirroring the disk cache's behaviour: robustness
+layers must never become a new way to fail.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import warnings
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Set
 
-from repro.experiments import diskcache
+from repro.experiments import diskcache, integrity
+from repro.faults import fsfaults
 
 #: Bump when the journal record format changes incompatibly.
-JOURNAL_VERSION = 1
+#: v2: records carry a CRC32 and appends are single O_APPEND writes.
+JOURNAL_VERSION = 2
 
 
 def journal_dir() -> Path:
@@ -64,7 +74,19 @@ class RunJournal:
         self.path = Path(path)
         self.done: Set[str] = set()
         self.failed: Dict[str, dict] = {}
-        self._handle = None
+        #: Recovery bookkeeping from the last _load: how many valid
+        #: records were restored, how many mid-file lines were damaged
+        #: and skipped, and whether a torn trailing line was tolerated.
+        self.recovered_lines = 0
+        self.corrupt_lines = 0
+        self.torn_tail = False
+        #: Byte length of the journal up to (and including) its last
+        #: complete line — everything beyond is torn crash debris that a
+        #: resume trims before appending, so a fresh record is never
+        #: glued onto a half-written one.
+        self._valid_length = 0
+        self._loaded_length = 0
+        self._fd: Optional[int] = None
         self._broken = False
         if resume:
             self._load()
@@ -78,20 +100,39 @@ class RunJournal:
 
     def _load(self) -> None:
         try:
-            text = self.path.read_text(encoding="utf-8")
+            blob = self.path.read_bytes()
         except OSError:
             return
-        for line in text.splitlines():
+        self._loaded_length = len(blob)
+        self._valid_length = len(blob)
+        text = blob.decode("utf-8", errors="replace")
+        lines = text.splitlines()
+        for index, line in enumerate(lines):
+            final = index == len(lines) - 1 and not blob.endswith(b"\n")
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except ValueError:
-                continue  # torn final line from a hard kill: ignore
+                if final:
+                    # Torn trailing line from a hard kill mid-append:
+                    # expected crash debris, recover silently (and trim
+                    # it before appending, see _open).
+                    self.torn_tail = True
+                    self._valid_length = blob.rfind(b"\n") + 1
+                else:
+                    self.corrupt_lines += 1
+                    integrity.report_corruption("journal", self.path, "garbage-line")
+                continue
+            if not (isinstance(record, dict) and integrity.verify_record(record)):
+                self.corrupt_lines += 1
+                integrity.report_corruption("journal", self.path, "record-checksum")
+                continue
             key = record.get("key")
             if not key:
                 continue
+            self.recovered_lines += 1
             if record.get("event") == "done":
                 self.done.add(key)
                 self.failed.pop(key, None)
@@ -100,9 +141,18 @@ class RunJournal:
                 self.done.discard(key)
 
     def _open(self, append: bool) -> None:
+        flags = os.O_WRONLY | os.O_CREAT | os.O_APPEND
+        if not append:
+            flags |= os.O_TRUNC
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "a" if append else "w", encoding="utf-8")
+            self._fd = os.open(self.path, flags, 0o644)
+            if append and self.torn_tail:
+                # Trim the torn fragment so the next append starts on a
+                # fresh line instead of gluing onto half a record — but
+                # only if nobody appended since _load read the file.
+                if os.fstat(self._fd).st_size == self._loaded_length:
+                    os.ftruncate(self._fd, self._valid_length)
         except OSError as exc:
             self._mark_broken(exc)
 
@@ -115,16 +165,28 @@ class RunJournal:
                 RuntimeWarning,
                 stacklevel=3,
             )
-        self._handle = None
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+        self._fd = None
 
     # -- recording ------------------------------------------------------- #
 
     def _write(self, record: dict) -> None:
-        if self._handle is None:
+        if self._fd is None:
             return
+        sealed = integrity.seal_record(record)
+        line = (json.dumps(sealed, sort_keys=True) + "\n").encode("utf-8")
         try:
-            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-            self._handle.flush()
+            line = fsfaults.on_write("journal.append", self.path, line)
+            fsfaults.crash_point("journal.append.pre_write")
+            # One write of one whole line on an O_APPEND fd: atomic with
+            # respect to other appenders, so interleaved writers never
+            # tear each other's records.
+            os.write(self._fd, line)
+            fsfaults.crash_point("journal.append.post_write")
         except OSError as exc:
             self._mark_broken(exc)
 
@@ -149,12 +211,12 @@ class RunJournal:
         )
 
     def close(self) -> None:
-        if self._handle is not None:
+        if self._fd is not None:
             try:
-                self._handle.close()
+                os.close(self._fd)
             except OSError:
                 pass
-            self._handle = None
+            self._fd = None
 
     def __enter__(self) -> "RunJournal":
         return self

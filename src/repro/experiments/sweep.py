@@ -47,10 +47,10 @@ bit-identical to an uninterrupted run.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
 import math
-import random
 import signal
 import threading
 import time
@@ -590,7 +590,7 @@ class SweepEngine:
         self.backoff_cap = backoff_cap
         self.max_pool_rebuilds = max(0, max_pool_rebuilds)
         self.report = SweepReport()
-        self._jitter = random.Random(jitter_seed)
+        self.jitter_seed = jitter_seed
         self._seq = itertools.count()
         self._serial_fallback = False
         self._failed_baseline_keys: set = set()
@@ -787,7 +787,7 @@ class SweepEngine:
                     task.attempts += 1
                     if task.attempts <= self.retries:
                         self.report.retried_attempts += 1
-                        time.sleep(self._backoff_delay(task.attempts))
+                        time.sleep(self._backoff_delay(task.attempts, task.key))
                         continue
                     self._record_failure(task, exc, journal)
                     break
@@ -977,10 +977,21 @@ class SweepEngine:
 
     # -- attempt bookkeeping ---------------------------------------------- #
 
-    def _backoff_delay(self, attempt: int) -> float:
-        """Exponential backoff with multiplicative jitter in [0.5, 1.5)."""
+    def _backoff_delay(self, attempt: int, key: str = "") -> float:
+        """Exponential backoff with multiplicative jitter in [0.5, 1.5).
+
+        The jitter fraction is a pure hash of (jitter_seed, point key,
+        attempt number) rather than a draw from a shared RNG stream, so
+        a given point's retry schedule is identical regardless of the
+        completion order of every other point — reproducible under
+        ``--inject flaky`` even with a racing pool.
+        """
         delay = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
-        return delay * (0.5 + self._jitter.random())
+        digest = hashlib.sha256(
+            f"{self.jitter_seed};{key};{attempt}".encode("utf-8")
+        ).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2.0**64
+        return delay * (0.5 + fraction)
 
     def _attempt_failed(self, task: _Task, exc: Exception, retry_heap, journal) -> None:
         task.attempts += 1
@@ -995,7 +1006,7 @@ class SweepEngine:
                     attempt=task.attempts,
                     error=type(exc).__name__,
                 )
-            eligible = time.monotonic() + self._backoff_delay(task.attempts)
+            eligible = time.monotonic() + self._backoff_delay(task.attempts, task.key)
             heapq.heappush(retry_heap, (eligible, next(self._seq), task))
         else:
             self._record_failure(task, exc, journal)

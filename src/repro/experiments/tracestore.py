@@ -23,9 +23,20 @@ Layout and invalidation rules:
 * Writers publish atomically: columns are written into a temporary
   sibling directory (``meta.json`` last) and ``os.rename``\\ d into
   place, so readers can never observe a torn entry; a racing duplicate
-  writer loses the rename and discards its copy.
+  writer loses the rename and discards its copy. Each publish carries a
+  generation stamp, and ``meta.json`` records a CRC32 per column plus a
+  self-checksum (:mod:`repro.experiments.integrity`).
 * A corrupt, truncated or schema-mismatched entry counts as a **miss**
-  and is deleted, so the slot heals on the next capture.
+  and is deleted, so the slot heals on the next capture. Checksum
+  failures are additionally reported (warn-once +
+  ``storage.corrupt.trace`` counter) — a damaged column is never
+  replayed into results. Verify-on-read can be disabled with
+  ``REPRO_STORE_VERIFY=0``.
+
+All I/O routes through the :mod:`repro.faults.fsfaults` hooks, so
+``REPRO_INJECT`` storage clauses can deterministically tear column
+writes, corrupt published bytes, fail the publish rename or kill the
+process at any step of the publish sequence.
 
 The store is an accelerator, never a correctness dependency: simulations
 are deterministic, so a trace served from disk is bit-identical to
@@ -34,6 +45,7 @@ re-capturing it.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import shutil
@@ -46,12 +58,15 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro import telemetry
-from repro.experiments import diskcache
+from repro.experiments import diskcache, integrity
+from repro.faults import fsfaults
 from repro.sim.trace import TRACE_COLUMNS, PackedTrace
 
 #: Bump when the packed column set or the trace-capture semantics change:
 #: every existing on-disk trace becomes unreachable (different key).
-TRACE_SCHEMA_VERSION = 1
+#: v2: meta.json carries per-column CRC32s, a generation stamp and a
+#: self-checksum; columns are verified on read.
+TRACE_SCHEMA_VERSION = 2
 
 #: The per-entry metadata file, written last — its presence marks a
 #: complete entry.
@@ -137,28 +152,45 @@ class TraceStore:
             # A missing meta.json means "no entry" (it is written last, so
             # its presence marks completeness); anything failing past this
             # point is a damaged entry and is deleted.
+            fsfaults.on_read("trace.meta.read", entry / META_NAME)
             with open(entry / META_NAME, "r", encoding="utf-8") as handle:
                 meta = json.load(handle)
         except FileNotFoundError:
             self.stats.misses += 1
             _count("trace.store.miss")
             return None
-        except (OSError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             self.stats.misses += 1
             _count("trace.store.miss")
+            integrity.report_corruption("trace", entry / META_NAME, "meta-unreadable")
+            shutil.rmtree(entry, ignore_errors=True)
+            return None
+        if not integrity.verify_record(meta):
+            # A meta that parses but fails its self-checksum is damage,
+            # not a schema generation gap — report before healing.
+            self.stats.misses += 1
+            _count("trace.store.miss")
+            integrity.report_corruption("trace", entry / META_NAME, "meta-checksum")
             shutil.rmtree(entry, ignore_errors=True)
             return None
         try:
             if meta.get("trace_schema") != TRACE_SCHEMA_VERSION:
                 raise ValueError("trace schema mismatch")
             length = int(meta["events"])
+            checksums = meta.get("checksums", {})
+            verify = integrity.verify_enabled()
             arrays: Dict[str, np.ndarray] = {}
             for name, dtype in TRACE_COLUMNS:
+                column_path = entry / f"{name}.npy"
+                fsfaults.on_read("trace.column.read", column_path)
+                if verify:
+                    expected = checksums.get(name)
+                    if expected is None or integrity.crc32_file(column_path) != expected:
+                        integrity.report_corruption("trace", column_path, "column-checksum")
+                        raise ValueError(f"column {name!r} failed its checksum")
                 # Zero-length files cannot be mmapped; tiny anyway.
                 mode = "r" if mmap and length else None
-                column = np.load(
-                    entry / f"{name}.npy", mmap_mode=mode, allow_pickle=False
-                )
+                column = np.load(column_path, mmap_mode=mode, allow_pickle=False)
                 if (
                     column.ndim != 1
                     or len(column) != length
@@ -183,9 +215,12 @@ class TraceStore:
         try:
             with open(self._entry_dir(key) / META_NAME, "r", encoding="utf-8") as handle:
                 meta = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             return False
-        return meta.get("trace_schema") == TRACE_SCHEMA_VERSION
+        return (
+            meta.get("trace_schema") == TRACE_SCHEMA_VERSION
+            and integrity.verify_record(meta)
+        )
 
     # ------------------------------------------------------------------ #
     # Writes                                                             #
@@ -206,24 +241,45 @@ class TraceStore:
             return
         try:
             entry.parent.mkdir(parents=True, exist_ok=True)
+            generation = integrity.next_generation()
             tmp = Path(
-                tempfile.mkdtemp(dir=entry.parent, prefix=f".{key[:8]}-", suffix=".tmp")
+                tempfile.mkdtemp(
+                    dir=entry.parent, prefix=f".{key[:8]}-g{generation}-", suffix=".tmp"
+                )
             )
             try:
+                fsfaults.crash_point("trace.publish.pre_columns")
+                checksums: Dict[str, int] = {}
                 for name, column in packed.columns().items():
-                    np.save(
-                        tmp / f"{name}.npy",
-                        np.ascontiguousarray(column),
-                        allow_pickle=False,
-                    )
-                meta = {
-                    "trace_schema": TRACE_SCHEMA_VERSION,
-                    "events": len(packed),
-                    "columns": [name for name, _ in TRACE_COLUMNS],
-                }
-                with open(tmp / META_NAME, "w", encoding="utf-8") as handle:
-                    json.dump(meta, handle)
+                    # Serialise to bytes first: the checksum covers the
+                    # *intended* bytes, and injected write faults mangle
+                    # only what lands on disk.
+                    buffer = io.BytesIO()
+                    np.save(buffer, np.ascontiguousarray(column), allow_pickle=False)
+                    blob = buffer.getvalue()
+                    checksums[name] = integrity.crc32_bytes(blob)
+                    column_path = tmp / f"{name}.npy"
+                    blob = fsfaults.on_write("trace.column.write", column_path, blob)
+                    with open(column_path, "wb") as handle:
+                        handle.write(blob)
+                fsfaults.crash_point("trace.publish.pre_meta")
+                meta = integrity.seal_record(
+                    {
+                        "trace_schema": TRACE_SCHEMA_VERSION,
+                        "events": len(packed),
+                        "columns": [name for name, _ in TRACE_COLUMNS],
+                        "checksums": checksums,
+                        "generation": generation,
+                    }
+                )
+                meta_blob = json.dumps(meta).encode("utf-8")
+                meta_blob = fsfaults.on_write("trace.meta.write", tmp / META_NAME, meta_blob)
+                with open(tmp / META_NAME, "wb") as handle:
+                    handle.write(meta_blob)
+                fsfaults.crash_point("trace.publish.pre_rename")
+                fsfaults.on_rename("trace.entry.rename", entry)
                 os.rename(tmp, entry)
+                fsfaults.crash_point("trace.publish.post_rename")
             except OSError:
                 shutil.rmtree(tmp, ignore_errors=True)
                 if self.has(key):
@@ -240,6 +296,7 @@ class TraceStore:
             return
         self.stats.stores += 1
         _count("trace.store.store")
+        fsfaults.damage_published("trace.entry.published", entry)
 
     def clear(self) -> int:
         """Delete every entry; returns the number of entries removed."""

@@ -1,6 +1,6 @@
-"""Deterministic fault injection for the experiment engine and simulator.
+"""Deterministic fault injection for the engine, simulator and storage.
 
-Two fault families share one spec grammar (see :mod:`repro.faults.spec`):
+Three fault families share one spec grammar (see :mod:`repro.faults.spec`):
 
 * **engine faults** (``crash``/``hang``/``raise``/``flaky``) fire inside
   sweep workers to exercise the supervision machinery of
@@ -9,12 +9,22 @@ Two fault families share one spec grammar (see :mod:`repro.faults.spec`):
 * **memory faults** (``flip``/``drop``) perturb the simulated memory
   hierarchy — bit flips in fetched values, silently lost block fetches —
   so approximator confidence/error behaviour under silent data
-  corruption is measurable (the ``ablate-memory-faults`` experiment).
+  corruption is measurable (the ``ablate-memory-faults`` experiment);
+* **storage faults** (``torn``/``fsync``/``corrupt``/``trunc``/
+  ``enospc``/``eio``/``rename``/``kill``) perturb the persistence layer
+  (:mod:`repro.faults.fsfaults`) to exercise the crash-consistency
+  machinery of the disk cache, trace store and run journal.
 
 Activate globally with ``--inject SPEC`` (environment-carried, so worker
 processes inherit it) or per sweep point via ``SweepPoint.faults``.
 """
 
+from repro.faults.fsfaults import (
+    CRASH_POINTS,
+    KILL_EXIT_STATUS,
+    active_storage_clauses,
+    storage_spec_is_foldable,
+)
 from repro.faults.injector import (
     CRASH_EXIT_STATUS,
     activate,
@@ -34,23 +44,29 @@ from repro.faults.memory import (
 from repro.faults.spec import (
     ENGINE_KINDS,
     MEMORY_KINDS,
+    STORAGE_KINDS,
     FaultClause,
     canonical_spec,
     engine_clauses,
     memory_clauses,
     parse_spec,
+    storage_clauses,
 )
 
 __all__ = [
     "CRASH_EXIT_STATUS",
+    "CRASH_POINTS",
     "ENGINE_KINDS",
     "FaultClause",
     "INJECT_ENV",
+    "KILL_EXIT_STATUS",
     "MEMORY_KINDS",
     "MemoryFaultModel",
+    "STORAGE_KINDS",
     "activate",
     "active_engine_clauses",
     "active_memory_spec",
+    "active_storage_clauses",
     "before_point",
     "build_memory_model",
     "canonical_spec",
@@ -61,4 +77,6 @@ __all__ = [
     "memory_faults",
     "no_memory_faults",
     "parse_spec",
+    "storage_clauses",
+    "storage_spec_is_foldable",
 ]

@@ -12,13 +12,26 @@ parameters. Two families exist:
 * **memory faults** (:data:`MEMORY_KINDS`) perturb the simulated memory
   hierarchy itself — flipping bits in fetched values or dropping block
   fetches — so approximator behaviour under silent data corruption can
-  be measured as an ablation.
+  be measured as an ablation;
+* **storage faults** (:data:`STORAGE_KINDS`) perturb the persistence
+  layer — torn writes, failed renames, ENOSPC/EIO, lost fsyncs,
+  truncated mmaps, byte corruption, and hard kills at publish crash
+  points — exercising the crash-consistency machinery of the disk
+  cache, trace store and run journal (see
+  :mod:`repro.faults.fsfaults`). Storage faults never change *what* a
+  run computes (a corrupted entry heals as a miss and is recomputed),
+  so, unlike memory faults, they fold into **nothing**: they must never
+  enter cache keys.
 
 Engine clauses select which sweep points they apply to via parameters:
 ``workload=``, ``mode=``, ``seed=``, ``small=``, ``kind=``
 (``technique``/``precise``/``any``, default ``technique``) — plus any
 :class:`~repro.core.config.ApproximatorConfig` field name
 (e.g. ``mantissa_drop_bits=11``) for single-point precision.
+Storage clauses select I/O operations instead: ``target=``
+(``cache``/``trace``/``journal``/``any``), ``op=``/``site=`` (substring
+of the operation site name), ``path=`` (substring of the file path),
+and a deterministic occurrence window ``at=``/``count=``.
 """
 
 from __future__ import annotations
@@ -33,6 +46,15 @@ ENGINE_KINDS = frozenset({"crash", "hang", "raise", "flaky"})
 
 #: Clause kinds that perturb the simulated memory hierarchy.
 MEMORY_KINDS = frozenset({"flip", "drop"})
+
+#: Clause kinds that perturb the storage layer (see repro.faults.fsfaults):
+#: ``torn`` (partial write), ``fsync`` (lost write: tail reads back as
+#: zeros), ``corrupt`` (byte flip), ``trunc`` (published file truncated),
+#: ``enospc``/``eio`` (failing syscalls), ``rename`` (failed publish
+#: rename), ``kill`` (hard process exit at a named publish crash point).
+STORAGE_KINDS = frozenset(
+    {"torn", "fsync", "corrupt", "trunc", "enospc", "eio", "rename", "kill"}
+)
 
 
 def _parse_value(text: str) -> object:
@@ -71,6 +93,10 @@ class FaultClause:
     @property
     def is_memory(self) -> bool:
         return self.kind in MEMORY_KINDS
+
+    @property
+    def is_storage(self) -> bool:
+        return self.kind in STORAGE_KINDS
 
     def canonical(self) -> str:
         """Re-serialised clause text (stable: params are sorted)."""
@@ -131,10 +157,10 @@ def parse_spec(spec: str) -> Tuple[FaultClause, ...]:
             continue
         kind, _, rest = chunk.partition(":")
         kind = kind.strip().lower()
-        if kind not in ENGINE_KINDS | MEMORY_KINDS:
+        if kind not in ENGINE_KINDS | MEMORY_KINDS | STORAGE_KINDS:
             raise ConfigurationError(
                 f"unknown fault kind {kind!r}; known: "
-                f"{', '.join(sorted(ENGINE_KINDS | MEMORY_KINDS))}"
+                f"{', '.join(sorted(ENGINE_KINDS | MEMORY_KINDS | STORAGE_KINDS))}"
             )
         params: Dict[str, object] = {}
         for pair in rest.split(","):
@@ -160,6 +186,10 @@ def memory_clauses(clauses: Tuple[FaultClause, ...]) -> Tuple[FaultClause, ...]:
 
 def engine_clauses(clauses: Tuple[FaultClause, ...]) -> Tuple[FaultClause, ...]:
     return tuple(c for c in clauses if c.is_engine)
+
+
+def storage_clauses(clauses: Tuple[FaultClause, ...]) -> Tuple[FaultClause, ...]:
+    return tuple(c for c in clauses if c.is_storage)
 
 
 def params_from_mapping(params: Mapping[str, object]) -> Tuple[Tuple[str, object], ...]:

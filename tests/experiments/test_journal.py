@@ -78,6 +78,31 @@ class TestRunJournal:
         assert reloaded.done == {"k1"}
         reloaded.close()
 
+    def test_mid_file_garbage_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record_done("technique", "k1")
+            journal.record_done("technique", "k2")
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(lines[0] + b"\x00\xffBINARY JUNK\n" + lines[1])
+        reloaded = RunJournal(path, resume=True)
+        assert reloaded.done == {"k1", "k2"}
+        assert reloaded.corrupt_lines == 1 and not reloaded.torn_tail
+        reloaded.close()
+
+    def test_checksum_mismatch_line_is_rejected(self, tmp_path):
+        """A record that parses as JSON but fails its CRC (bit rot, or a
+        hand-edited journal) must not be resurrected into bookkeeping."""
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record_done("technique", "k1")
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text.replace('"k1"', '"kX"'), encoding="utf-8")
+        reloaded = RunJournal(path, resume=True)
+        assert reloaded.done == set()
+        assert reloaded.corrupt_lines == 1
+        reloaded.close()
+
     def test_fresh_run_truncates(self, tmp_path):
         path = tmp_path / "run.jsonl"
         with RunJournal(path) as journal:
@@ -95,6 +120,41 @@ class TestRunJournal:
         journal.record_done("technique", "k1")
         journal.record_failed("technique", "k2", "E", "m", 1)
         journal.close()
+
+    def test_interleaved_writers_from_two_processes(self, tmp_path):
+        """Two pids appending to the same journal must interleave without
+        tearing: every record survives intact (one O_APPEND write per
+        sealed line) and the replay sees each point exactly once."""
+        import os as _os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        path = tmp_path / "run.jsonl"
+        repo_src = Path(__file__).resolve().parents[2] / "src"
+        child = (
+            "import sys\n"
+            "sys.path.insert(0, sys.argv[1])\n"
+            "from repro.experiments.journal import RunJournal\n"
+            "with RunJournal(sys.argv[2], resume=True) as journal:\n"
+            "    for i in range(50):\n"
+            "        journal.record_done('technique', f'{sys.argv[3]}-{i}')\n"
+        )
+        env = dict(_os.environ)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", child, str(repo_src), str(path), prefix],
+                env=env,
+            )
+            for prefix in ("a", "b")
+        ]
+        assert [p.wait(timeout=60) for p in procs] == [0, 0]
+
+        reloaded = RunJournal(path, resume=True)
+        assert reloaded.done == {f"{p}-{i}" for p in "ab" for i in range(50)}
+        assert reloaded.corrupt_lines == 0 and not reloaded.torn_tail
+        assert reloaded.recovered_lines == 100  # no duplicates, no losses
+        reloaded.close()
 
     def test_null_journal_is_inert(self):
         journal = NullJournal()
@@ -151,6 +211,30 @@ class TestEngineResume:
         pristine = fig13.run(small=True)
 
         assert resumed.series == pristine.series
+
+    def test_resume_after_torn_journal_tail_recomputes_once(self, clean_caches):
+        """A torn final line (hard kill mid-append) loses exactly that
+        point's record; --resume recomputes it once, never duplicates."""
+        SweepEngine(jobs=1).execute(fig13.points(small=True))
+        journals = list((diskcache.default_cache_dir() / "journals").glob("*.jsonl"))
+        assert len(journals) == 1
+        blob = journals[0].read_bytes()
+        lines = blob.splitlines(keepends=True)
+        journals[0].write_bytes(b"".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+
+        common._PRECISE_CACHE.clear()
+        common._TECHNIQUE_CACHE.clear()
+        common._TRACE_CACHE.clear()
+        second = SweepEngine(jobs=1, resume=True).execute(fig13.points(small=True))
+        assert not second.failures
+        assert second.resumed_points == 5  # all but the torn record
+        records = [
+            json.loads(line)
+            for line in journals[0].read_text().splitlines()
+            if line.strip()
+        ]
+        done_keys = [r["key"] for r in records if r.get("event") == "done"]
+        assert len(done_keys) == len(set(done_keys))  # no duplicated points
 
     def test_journal_written_next_to_cache(self, clean_caches):
         SweepEngine(jobs=1).execute(fig13.points(small=True))

@@ -57,6 +57,40 @@ class TestSweepPoint:
         assert a == b
 
 
+class TestDeterministicBackoff:
+    """Retry backoff jitter is a pure function of (seed, key, attempt) —
+    schedule-independent, so a resumed/parallel run never perturbs it."""
+
+    def test_same_inputs_same_delay(self):
+        a = SweepEngine(jobs=1, backoff_base=0.1, jitter_seed=7)
+        b = SweepEngine(jobs=4, backoff_base=0.1, jitter_seed=7)
+        for attempt in (1, 2, 3):
+            assert a._backoff_delay(attempt, "k") == b._backoff_delay(attempt, "k")
+
+    def test_delay_varies_with_seed_key_and_attempt(self):
+        engine = SweepEngine(jobs=1, backoff_base=0.1, jitter_seed=7)
+        other = SweepEngine(jobs=1, backoff_base=0.1, jitter_seed=8)
+        assert engine._backoff_delay(1, "k") != other._backoff_delay(1, "k")
+        assert engine._backoff_delay(1, "k") != engine._backoff_delay(1, "k2")
+        assert engine._backoff_delay(1, "k") != engine._backoff_delay(2, "k")
+
+    def test_delay_within_jitter_band_and_capped(self):
+        engine = SweepEngine(
+            jobs=1, backoff_base=0.1, backoff_cap=1.0, jitter_seed=3
+        )
+        for attempt in range(1, 10):
+            nominal = min(1.0, 0.1 * 2 ** (attempt - 1))
+            delay = engine._backoff_delay(attempt, f"key-{attempt}")
+            assert 0.5 * nominal <= delay < 1.5 * nominal
+
+    def test_independent_of_call_order(self):
+        engine = SweepEngine(jobs=1, backoff_base=0.1, jitter_seed=5)
+        forward = [engine._backoff_delay(n, "k") for n in (1, 2, 3)]
+        fresh = SweepEngine(jobs=1, backoff_base=0.1, jitter_seed=5)
+        backward = [fresh._backoff_delay(n, "k") for n in (3, 2, 1)]
+        assert forward == backward[::-1]
+
+
 class TestSerialEngine:
     def test_fig13_equivalent_to_driver_alone(self, clean_caches):
         """A table built after a sweep is bitwise-identical to one built
