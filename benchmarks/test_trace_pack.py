@@ -137,6 +137,7 @@ def test_write_bench_replay_json(monkeypatch, captured):
     from pathlib import Path
 
     from repro import TraceRecorder, get_workload
+    from repro.envspec import BENCH_OUT_ENV
     from repro.experiments.common import BASELINE_WORKLOADS
 
     def events_per_sec(packed, path):
@@ -169,7 +170,7 @@ def test_write_bench_replay_json(monkeypatch, captured):
     }
     results["canneal-large"]["events"] = len(large)
 
-    out = Path(os.environ.get("REPRO_BENCH_OUT", "BENCH_replay.json"))
+    out = Path(os.environ.get(BENCH_OUT_ENV, "BENCH_replay.json"))
     out.write_text(
         json.dumps(
             {"mode": "lva", "unit": "events/sec", "workloads": results},

@@ -23,6 +23,16 @@ LVA005    stats consistency — counter writes must match declared
 LVA006    guarded hot-path telemetry — hook calls in per-load methods
           stay behind ``if self._tel is not None``; no telemetry
           module-API calls on the hot path
+LVA007    env-influence soundness — every ``REPRO_*`` read resolves to
+          a :mod:`repro.envspec` constant; ``keyed`` variables provably
+          reach a cache-key function, ``neutral``/``capture-only``
+          variables provably do not (whole-program taint)
+LVA008    worker-path determinism — the LVA001 checks, extended
+          interprocedurally along call paths from worker entry points,
+          kernel batch functions and simulator entry points
+LVA009    mmap write discipline — no stores into arrays obtained from
+          ``np.load(mmap_mode=...)`` or ``TraceStore.get`` (the packed
+          columns are shared read-only across processes)
 ========  ============================================================
 
 Violations are suppressed per line with ``# lva: ignore[LVA001]`` (or a
@@ -48,13 +58,18 @@ from repro.analysis.engine import (
     check_source,
     check_sources,
     discover_files,
+    run_modules_raw,
     run_paths,
+    stale_suppressions,
 )
+from repro.analysis.incremental import IncrementalResult, run_paths_incremental
 from repro.analysis.report import render_text, summary_line
+from repro.analysis.sarif import render_sarif, to_sarif
 
 __all__ = [
     "AnalysisConfig",
     "DEFAULT_CONFIG",
+    "IncrementalResult",
     "ModuleInfo",
     "ProjectContext",
     "Rule",
@@ -64,8 +79,13 @@ __all__ = [
     "check_sources",
     "discover_files",
     "register",
+    "render_sarif",
     "render_text",
     "rule_ids",
+    "run_modules_raw",
     "run_paths",
+    "run_paths_incremental",
+    "stale_suppressions",
     "summary_line",
+    "to_sarif",
 ]

@@ -5,6 +5,9 @@ Usage::
     lva-lint src/                      # lint a tree (exit 1 on violations)
     lva-lint --select LVA001,LVA003 f.py
     lva-lint --ignore LVA005 src/
+    lva-lint src/ --sarif lint.sarif   # also write a SARIF 2.1.0 log
+    lva-lint src/ --stale-ignores      # flag suppressions that silence nothing
+    lva-lint src/ --incremental        # reuse .lva-cache.json across runs
     lva-lint --list-rules
 
 Suppress a single line with ``# lva: ignore[LVA001]`` (or a blanket
@@ -15,9 +18,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import FrozenSet, List, Optional
 
-from repro.analysis import core, engine, report
+from repro.analysis import core, engine, incremental, report, sarif
+from repro.analysis.core import Violation
 
 
 def _parse_rule_set(text: Optional[str]) -> Optional[FrozenSet[str]]:
@@ -34,7 +39,8 @@ def build_parser() -> argparse.ArgumentParser:
             "determinism (LVA001), cache-key completeness (LVA002), "
             "hot-path discipline (LVA003), worker safety (LVA004), "
             "stats consistency (LVA005), guarded hot-path telemetry "
-            "(LVA006)."
+            "(LVA006), env-influence soundness (LVA007), worker-path "
+            "determinism (LVA008), mmap write discipline (LVA009)."
         ),
     )
     parser.add_argument(
@@ -52,6 +58,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore",
         metavar="RULES",
         help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        help="also write the report as a SARIF 2.1.0 log to PATH",
+    )
+    parser.add_argument(
+        "--stale-ignores",
+        action="store_true",
+        help=(
+            "report '# lva: ignore' comments that no longer silence any "
+            "violation (LVA900; checked against the full rule set)"
+        ),
+    )
+    parser.add_argument(
+        "--incremental",
+        metavar="CACHE",
+        nargs="?",
+        const=".lva-cache.json",
+        default=None,
+        help=(
+            "reuse cached per-file results; only the dependency cone of "
+            "changed files is re-checked (cache file defaults to "
+            ".lva-cache.json; put the flag after the paths)"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -76,15 +107,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not files:
         print(f"lva-lint: no Python files under {', '.join(args.paths)}", file=sys.stderr)
         return 2
-    violations = engine.run_paths(
-        args.paths,
-        select=_parse_rule_set(args.select),
-        ignore=_parse_rule_set(args.ignore),
-    )
+    select = _parse_rule_set(args.select)
+    ignore = _parse_rule_set(args.ignore)
+
+    extra = ""
+    infos, errors = engine.load_modules(files)
+    if args.incremental is not None:
+        result = incremental.run_paths_incremental(
+            args.paths, Path(args.incremental), select=select, ignore=ignore
+        )
+        violations = result.violations
+        extra = (
+            f" [incremental: {len(result.analyzed)} re-analyzed, "
+            f"{len(result.reused)} reused]"
+        )
+    else:
+        violations = sorted(
+            errors + engine.run_modules(infos, select=select, ignore=ignore),
+            key=Violation.sort_key,
+        )
+    if args.stale_ignores:
+        # Staleness is judged against the FULL rule set: a suppression
+        # of a rule merely excluded by --select is dormant, not stale.
+        raw = engine.run_modules_raw(infos)
+        violations = sorted(
+            violations + engine.stale_suppressions(infos, raw),
+            key=Violation.sort_key,
+        )
+    if args.sarif:
+        Path(args.sarif).write_text(sarif.render_sarif(violations), encoding="utf-8")
     if violations:
         print(report.render_text(violations))
     if not args.no_summary:
-        print(report.summary_line(violations, len(files)))
+        print(report.summary_line(violations, len(files)) + extra)
     return 1 if violations else 0
 
 

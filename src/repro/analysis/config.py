@@ -60,6 +60,25 @@ class AnalysisConfig:
             contract inside ``kernel_modules``.
         event_fields: Per-event attribute names whose read inside a
             kernel function betrays scalar (object-at-a-time) access.
+        flow_entry_points: Extra call-graph roots (``module:Qual.name``)
+            for LVA008's reachability sweep — the public simulation
+            entry methods; worker entries and kernel batch functions are
+            added automatically.
+        flow_exempt_modules: Packages exempt from LVA008 even when
+            reachable (telemetry legitimately reads clocks).
+        key_function_markers: Substrings of a function name marking it
+            as a cache-key constructor (a *sink* for LVA007's taint).
+        mmap_providers: Functions (``module:Qual.name``) whose return
+            value is treated as memory-mapped, in addition to direct
+            ``np.load(..., mmap_mode=...)`` calls.
+        envspec_module: The module that must declare every environment
+            variable (LVA007 requires reads to resolve to its
+            constants).
+        env_prefix: Environment variables subject to LVA007.
+        env_registry: Override registry for fixture tests:
+            ``(name, classification, pinned_by, keyed_via)`` rows. When
+            empty, LVA007 imports ``envspec_module`` and uses the real
+            declarations.
     """
 
     sim_packages: Tuple[str, ...] = (
@@ -118,6 +137,24 @@ class AnalysisConfig:
         "gap",
         "is_store",
     )
+    flow_entry_points: Tuple[str, ...] = (
+        "repro.fullsystem.system:FullSystemSimulator.run",
+        "repro.fullsystem.system:FullSystemSimulator.replay_events",
+        "repro.sim.tracesim:TraceSimulator.replay",
+    )
+    flow_exempt_modules: Tuple[str, ...] = ("repro.telemetry",)
+    key_function_markers: Tuple[str, ...] = (
+        "cache_key",
+        "disk_key",
+        "point_key",
+        "trace_key",
+    )
+    mmap_providers: Tuple[str, ...] = (
+        "repro.experiments.tracestore:TraceStore.get",
+    )
+    envspec_module: str = "repro.envspec"
+    env_prefix: str = "REPRO_"
+    env_registry: Tuple[Tuple[str, str, str, str], ...] = field(default=())
 
     def effective_stats_packages(self) -> Tuple[str, ...]:
         """LVA005 scope: explicit override, else sim packages + the CPU model."""
@@ -150,6 +187,10 @@ class AnalysisConfig:
             if function_name.endswith(suffix):
                 return True
         return False
+
+    def is_flow_exempt(self, module: str) -> bool:
+        """True when LVA008 must not report inside ``module``."""
+        return in_packages(module, self.flow_exempt_modules)
 
     def is_worker_entry(self, function_name: str) -> bool:
         """True when a function in a worker module is a worker entry point."""

@@ -31,6 +31,9 @@ from repro.analysis.core import (
 #: Rule id used for files that fail to parse at all.
 SYNTAX_RULE_ID = "LVA000"
 
+#: Rule id used for suppression comments that no longer suppress anything.
+STALE_IGNORE_RULE_ID = "LVA900"
+
 
 def module_name_for(path: Path) -> str:
     """Dotted module name of ``path``, walking up through packages."""
@@ -92,6 +95,89 @@ def load_modules(
     return infos, errors
 
 
+def run_modules_raw(
+    infos: List[ModuleInfo],
+    config: AnalysisConfig = DEFAULT_CONFIG,
+    select: Optional[FrozenSet[str]] = None,
+    ignore: Optional[FrozenSet[str]] = None,
+) -> List[Violation]:
+    """Run the (selected) rules; sorted, deduped, suppressions NOT applied.
+
+    The pre-suppression view feeds :func:`stale_suppressions`, which has
+    to know what a ``# lva: ignore`` comment *would* have silenced.
+    """
+    ctx = ProjectContext(infos, config)
+    raw: List[Violation] = []
+    for rule in all_rules(select=select, ignore=ignore):
+        for info in ctx.ordered():
+            raw.extend(rule.check(info, ctx))
+        raw.extend(rule.finish(ctx))
+    return sorted(set(raw), key=Violation.sort_key)
+
+
+def apply_suppressions(
+    raw: Iterable[Violation], infos: Iterable[ModuleInfo]
+) -> List[Violation]:
+    """Drop violations silenced by ``# lva: ignore`` comments; sorted."""
+    by_path = {info.path: info for info in infos}
+    kept: List[Violation] = []
+    for violation in raw:
+        info = by_path.get(violation.path)
+        if info is not None and info.is_suppressed(violation.line, violation.rule_id):
+            continue
+        kept.append(violation)
+    return sorted(kept, key=Violation.sort_key)
+
+
+def stale_suppressions(
+    infos: List[ModuleInfo], raw: Iterable[Violation]
+) -> List[Violation]:
+    """Report ``# lva: ignore`` comments that no longer silence anything.
+
+    ``raw`` must be the *pre-suppression* report (:func:`run_modules_raw`)
+    over the same modules with the full rule set — a suppression is stale
+    exactly when no raw violation at its line carries a rule id it names
+    (or, for blanket ignores, when the line is clean altogether).
+    """
+    hits: Dict[Tuple[str, int], set] = {}
+    for violation in raw:
+        hits.setdefault((violation.path, violation.line), set()).add(
+            violation.rule_id
+        )
+    out: List[Violation] = []
+    for info in infos:
+        for line, silenced in sorted(info.suppressions.items()):
+            present = hits.get((info.path, line), set())
+            if "*" in silenced:
+                if not present:
+                    out.append(
+                        Violation(
+                            STALE_IGNORE_RULE_ID,
+                            info.path,
+                            line,
+                            1,
+                            "stale blanket suppression: no rule triggers on "
+                            "this line; delete the '# lva: ignore' comment",
+                        )
+                    )
+                continue
+            stale = sorted(silenced - present)
+            if stale:
+                names = ", ".join(stale)
+                out.append(
+                    Violation(
+                        STALE_IGNORE_RULE_ID,
+                        info.path,
+                        line,
+                        1,
+                        f"stale suppression of [{names}]: the rule(s) no "
+                        "longer trigger on this line; narrow or delete the "
+                        "'# lva: ignore' comment",
+                    )
+                )
+    return sorted(out, key=Violation.sort_key)
+
+
 def run_modules(
     infos: List[ModuleInfo],
     config: AnalysisConfig = DEFAULT_CONFIG,
@@ -99,20 +185,8 @@ def run_modules(
     ignore: Optional[FrozenSet[str]] = None,
 ) -> List[Violation]:
     """Run the (selected) rules over pre-parsed modules; sorted, deduped."""
-    ctx = ProjectContext(infos, config)
-    raw: List[Violation] = []
-    for rule in all_rules(select=select, ignore=ignore):
-        for info in ctx.ordered():
-            raw.extend(rule.check(info, ctx))
-        raw.extend(rule.finish(ctx))
-    by_path = {info.path: info for info in infos}
-    kept: List[Violation] = []
-    for violation in set(raw):
-        info = by_path.get(violation.path)
-        if info is not None and info.is_suppressed(violation.line, violation.rule_id):
-            continue
-        kept.append(violation)
-    return sorted(kept, key=Violation.sort_key)
+    raw = run_modules_raw(infos, config, select=select, ignore=ignore)
+    return apply_suppressions(raw, infos)
 
 
 def run_paths(

@@ -1,0 +1,55 @@
+"""Whole-program dataflow support for the flow rules (LVA007–LVA009).
+
+One :class:`FlowAnalysis` — import graph, call graph, env-read sites,
+and the taint fixpoint — is built per lint run and shared by every flow
+rule through :func:`flow_analysis`, which memoizes it in the project
+context's scratch cache.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Dict
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import ModuleInfo, ProjectContext
+from repro.analysis.flow.graphs import EnvRead, ProjectGraph, short_name
+from repro.analysis.flow.taint import MMAP, MmapWrite, TaintEngine
+
+_CACHE_KEY = "flow-analysis"
+
+
+class FlowAnalysis:
+    """The shared whole-program analysis: graphs plus taint results."""
+
+    def __init__(self, modules: List[ModuleInfo], config: AnalysisConfig) -> None:
+        self.config = config
+        self.graph = ProjectGraph(modules)
+        self.engine = TaintEngine(self.graph, config)
+        self.engine.run()
+        self.mmap_writes: List[MmapWrite] = self.engine.mmap_writes
+        self.key_sink_hits: Dict[str, Set[str]] = self.engine.key_sink_hits()
+
+    @property
+    def env_reads(self) -> List[EnvRead]:
+        return self.graph.env_reads
+
+
+def flow_analysis(ctx: ProjectContext) -> FlowAnalysis:
+    """The per-run :class:`FlowAnalysis`, built once and cached."""
+    cached = ctx.caches.get(_CACHE_KEY)
+    if isinstance(cached, FlowAnalysis):
+        return cached
+    analysis = FlowAnalysis(list(ctx.modules.values()), ctx.config)
+    ctx.caches[_CACHE_KEY] = analysis
+    return analysis
+
+
+__all__ = [
+    "MMAP",
+    "EnvRead",
+    "FlowAnalysis",
+    "MmapWrite",
+    "ProjectGraph",
+    "flow_analysis",
+    "short_name",
+]

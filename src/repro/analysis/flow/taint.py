@@ -1,0 +1,588 @@
+"""Interprocedural taint propagation over the project call graph.
+
+Two label families flow through a shared worklist fixpoint:
+
+* ``("env", VAR)`` — values influenced by reading environment variable
+  ``VAR``. Environment labels propagate *optimistically through
+  everything* (arithmetic, string formatting, unresolved calls): an
+  ``int(os.environ.get(...))`` is still environment-influenced. LVA007
+  uses them to prove that keyed variables reach a cache-key function and
+  that neutral ones never do.
+
+* ``("mmap", "")`` — arrays backed by a read-only memory map
+  (``np.load(..., mmap_mode="r")`` or a configured provider such as
+  ``TraceStore.get``). Mmap labels propagate only through
+  *view-producing* constructs — names, attributes, subscripts,
+  containers, and known view methods — and deliberately **not** through
+  arithmetic or unresolved calls, which produce fresh arrays. LVA009
+  uses them to flag in-place stores into mapped columns.
+
+State (parameter labels, return labels, attribute labels keyed by owning
+class, module globals) only ever grows, so iterating passes over every
+function until nothing changes is a terminating fixpoint. A final
+*report* pass re-walks each function with the stable state and collects
+the mmap-write violations.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis import astutil
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.flow.graphs import EnvRead, FunctionInfo, ProjectGraph
+
+Label = Tuple[str, str]
+
+#: The single mmap label (no per-origin distinction needed).
+MMAP: Label = ("mmap", "")
+
+#: ndarray methods that mutate the receiver in place.
+_MUTATORS = frozenset(
+    {"fill", "resize", "sort", "put", "itemset", "partition", "byteswap", "setflags"}
+)
+
+#: numpy module-level functions whose first argument is written to.
+_NP_WRITERS = frozenset({"copyto", "place", "putmask", "put_along_axis"})
+
+#: ndarray methods returning views of the receiver.
+_VIEW_METHODS = frozenset(
+    {"reshape", "transpose", "swapaxes", "view", "squeeze", "astype_view"}
+)
+
+_MAX_PASSES = 50
+
+
+def env_only(labels: Set[Label]) -> Set[Label]:
+    return {label for label in labels if label[0] == "env"}
+
+
+@dataclass(slots=True)
+class MmapWrite:
+    """One in-place write into a memory-mapped array."""
+
+    func: str
+    module: str
+    node: ast.AST
+    detail: str
+
+
+@dataclass(slots=True)
+class _State:
+    """The monotone facts; every set only grows."""
+
+    params: Dict[str, Dict[str, Set[Label]]] = field(default_factory=dict)
+    #: Labels passed to a function outside any named parameter
+    #: (``*args`` / ``**kwargs`` overflow).
+    extras: Dict[str, Set[Label]] = field(default_factory=dict)
+    rets: Dict[str, Set[Label]] = field(default_factory=dict)
+    #: (module, name) -> labels of a module-level binding.
+    globals: Dict[Tuple[str, str], Set[Label]] = field(default_factory=dict)
+    #: (class qualname or "?", attr) -> labels stored on instances.
+    attrs: Dict[Tuple[str, str], Set[Label]] = field(default_factory=dict)
+    #: qualname -> every label observed while evaluating the function.
+    uses: Dict[str, Set[Label]] = field(default_factory=dict)
+
+
+class TaintEngine:
+    """Runs the fixpoint and answers the flow rules' queries."""
+
+    def __init__(self, graph: ProjectGraph, config: AnalysisConfig) -> None:
+        self.graph = graph
+        self.config = config
+        self.state = _State()
+        self.mmap_writes: List[MmapWrite] = []
+        self._changed = False
+        self._env_read_at: Dict[int, EnvRead] = {
+            id(read.node): read for read in graph.env_reads
+        }
+        self._providers = frozenset(config.mmap_providers)
+        for qualname, fn in graph.functions.items():
+            self.state.params[qualname] = {p: set() for p in fn.params}
+            self.state.extras[qualname] = set()
+            self.state.rets[qualname] = set()
+            self.state.uses[qualname] = set()
+
+    # ----------------------------------------------------------------- #
+
+    def run(self) -> None:
+        for _ in range(_MAX_PASSES):
+            self._changed = False
+            for qualname in sorted(self.graph.functions):
+                _Pass(self, self.graph.functions[qualname], report=False).run()
+            if not self._changed:
+                break
+        self.mmap_writes = []
+        for qualname in sorted(self.graph.functions):
+            _Pass(self, self.graph.functions[qualname], report=True).run()
+
+    def merge(self, target: Set[Label], labels: Set[Label]) -> None:
+        before = len(target)
+        target |= labels
+        if len(target) != before:
+            self._changed = True
+
+    # ----------------------------------------------------------------- #
+    # Queries                                                           #
+    # ----------------------------------------------------------------- #
+
+    def is_key_function(self, fn: FunctionInfo) -> bool:
+        return any(marker in fn.name for marker in self.config.key_function_markers)
+
+    def function_labels(self, qualname: str) -> Set[Label]:
+        """Everything that reaches or is observed inside one function."""
+        labels: Set[Label] = set()
+        for param_labels in self.state.params.get(qualname, {}).values():
+            labels |= param_labels
+        labels |= self.state.extras.get(qualname, set())
+        labels |= self.state.uses.get(qualname, set())
+        return labels
+
+    def key_sink_hits(self) -> Dict[str, Set[str]]:
+        """Env var -> key functions its influence reaches."""
+        hits: Dict[str, Set[str]] = {}
+        for qualname, fn in self.graph.functions.items():
+            if not self.is_key_function(fn):
+                continue
+            for kind, var in self.function_labels(qualname):
+                if kind == "env":
+                    hits.setdefault(var, set()).add(qualname)
+        return hits
+
+
+class _Pass:
+    """One abstract-interpretation sweep over one function body."""
+
+    def __init__(self, engine: TaintEngine, func: FunctionInfo, report: bool) -> None:
+        self.engine = engine
+        self.graph = engine.graph
+        self.state = engine.state
+        self.func = func
+        self.report = report
+        self.locals: Dict[str, Set[Label]] = {}
+        for param, labels in self.state.params.get(func.qualname, {}).items():
+            self.locals[param] = set(labels)
+        self.is_module_body = isinstance(func.node, ast.Module)
+
+    def run(self) -> None:
+        if self.is_module_body:
+            stmts = [
+                stmt
+                for stmt in self.func.body()
+                if not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+            ]
+        else:
+            stmts = self.func.body()
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    # ----------------------------------------------------------------- #
+    # Statements                                                        #
+    # ----------------------------------------------------------------- #
+
+    def exec_body(self, stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Closures share the enclosing function's abstract frame.
+            self.exec_body(stmt.body)
+        elif isinstance(stmt, ast.ClassDef):
+            pass
+        elif isinstance(stmt, ast.Assign):
+            labels = self.eval(stmt.value)
+            for target in stmt.targets:
+                self.assign(target, labels)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.assign(stmt.target, self.eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            target_labels = self.eval(stmt.target)
+            labels = self.eval(stmt.value) | target_labels
+            if self.report:
+                if isinstance(stmt.target, ast.Subscript) and MMAP in self.eval(
+                    stmt.target.value
+                ):
+                    self._mmap_write(
+                        stmt, "augmented store into a memory-mapped array"
+                    )
+                elif MMAP in target_labels:
+                    self._mmap_write(
+                        stmt,
+                        "augmented assignment mutates a memory-mapped array "
+                        "in place",
+                    )
+            if isinstance(stmt.target, ast.Subscript):
+                # Already reported above when mapped; flow the labels to
+                # the container without re-entering the reporting path.
+                self.assign(stmt.target.value, labels)
+            else:
+                self.assign(stmt.target, labels)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.engine.merge(
+                    self.state.rets[self.func.qualname], self.eval(stmt.value)
+                )
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self.exec_body(stmt.body)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self.exec_body(stmt.body)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.assign(stmt.target, self.eval(stmt.iter))
+            self.exec_body(stmt.body)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                labels = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, labels)
+            self.exec_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.exec_body(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_body(handler.body)
+            self.exec_body(stmt.orelse)
+            self.exec_body(stmt.finalbody)
+        elif stmt.__class__.__name__ == "TryStar":
+            self.exec_body(stmt.body)  # type: ignore[attr-defined]
+            for handler in stmt.handlers:  # type: ignore[attr-defined]
+                self.exec_body(handler.body)
+            self.exec_body(stmt.orelse)  # type: ignore[attr-defined]
+            self.exec_body(stmt.finalbody)  # type: ignore[attr-defined]
+        elif isinstance(stmt, ast.Match):
+            self.eval(stmt.subject)
+            for case in stmt.cases:
+                if case.guard is not None:
+                    self.eval(case.guard)
+                self.exec_body(case.body)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc)
+        elif isinstance(stmt, ast.Assert):
+            self.eval(stmt.test)
+            if stmt.msg is not None:
+                self.eval(stmt.msg)
+        # Import/Global/Nonlocal/Pass/Break/Continue/Delete carry no labels.
+
+    # ----------------------------------------------------------------- #
+    # Assignment targets                                                #
+    # ----------------------------------------------------------------- #
+
+    def assign(self, target: ast.expr, labels: Set[Label]) -> None:
+        if isinstance(target, ast.Name):
+            self.locals.setdefault(target.id, set()).update(labels)
+            if self.is_module_body:
+                key = (self.func.module, target.id)
+                self.engine.merge(self.state.globals.setdefault(key, set()), labels)
+        elif isinstance(target, ast.Attribute):
+            owner = self.graph.expr_class(self.func, target.value)
+            key = (owner if owner is not None else "?", target.attr)
+            self.engine.merge(self.state.attrs.setdefault(key, set()), labels)
+        elif isinstance(target, ast.Subscript):
+            base_labels = self.eval(target.value)
+            if self.report and MMAP in base_labels:
+                self._mmap_write(target, "store into a memory-mapped array")
+            # The container absorbs its elements' labels.
+            self.assign(target.value, labels)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self.assign(element, labels)
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, labels)
+
+    # ----------------------------------------------------------------- #
+    # Expressions                                                       #
+    # ----------------------------------------------------------------- #
+
+    def eval(self, node: ast.expr) -> Set[Label]:
+        labels = self._eval_inner(node)
+        if labels:
+            self.engine.merge(self.state.uses[self.func.qualname], labels)
+        return labels
+
+    def _eval_inner(self, node: ast.expr) -> Set[Label]:
+        if isinstance(node, ast.Constant):
+            return set()
+        if isinstance(node, ast.Name):
+            return self._eval_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Subscript):
+            return self.eval(node.value) | self.eval(node.slice)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BinOp):
+            return env_only(self.eval(node.left) | self.eval(node.right))
+        if isinstance(node, ast.UnaryOp):
+            return env_only(self.eval(node.operand))
+        if isinstance(node, ast.BoolOp):
+            # ``a or b`` evaluates to one operand: views survive.
+            labels: Set[Label] = set()
+            for value in node.values:
+                labels |= self.eval(value)
+            return labels
+        if isinstance(node, ast.Compare):
+            out = self.eval(node.left)
+            for comparator in node.comparators:
+                out |= self.eval(comparator)
+            return env_only(out)
+        if isinstance(node, ast.IfExp):
+            env = env_only(self.eval(node.test))
+            return env | self.eval(node.body) | self.eval(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            labels = set()
+            for element in node.elts:
+                labels |= self.eval(element)
+            return labels
+        if isinstance(node, ast.Dict):
+            labels = set()
+            for key in node.keys:
+                if key is not None:
+                    labels |= env_only(self.eval(key))
+            for value in node.values:
+                labels |= self.eval(value)
+            return labels
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            labels = self.eval(node.value)
+            self.assign(node.target, labels)
+            return labels
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            self._bind_comprehension(node.generators)
+            return self.eval(node.elt)
+        if isinstance(node, ast.DictComp):
+            self._bind_comprehension(node.generators)
+            return env_only(self.eval(node.key)) | self.eval(node.value)
+        if isinstance(node, ast.Lambda):
+            return env_only(self.eval(node.body))
+        if isinstance(node, ast.JoinedStr):
+            labels = set()
+            for value in node.values:
+                labels |= self.eval(value)
+            return env_only(labels)
+        if isinstance(node, ast.FormattedValue):
+            return env_only(self.eval(node.value))
+        if isinstance(node, ast.Await):
+            return self.eval(node.value)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                self.engine.merge(
+                    self.state.rets[self.func.qualname], self.eval(node.value)
+                )
+            return set()
+        if isinstance(node, ast.Slice):
+            labels = set()
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    labels |= self.eval(part)
+            return env_only(labels)
+        # Conservative default: environment influence flows, views don't.
+        labels = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                labels |= self.eval(child)
+        return env_only(labels)
+
+    def _bind_comprehension(self, generators: List[ast.comprehension]) -> None:
+        for gen in generators:
+            self.assign(gen.target, self.eval(gen.iter))
+            for cond in gen.ifs:
+                self.eval(cond)
+
+    def _eval_name(self, name: str) -> Set[Label]:
+        labels = set(self.locals.get(name, set()))
+        labels |= self.state.globals.get((self.func.module, name), set())
+        resolved = self.graph.resolve_symbol(self.func.module, name)
+        if resolved is not None and resolved[0] == "const":
+            module, _, const = resolved[1].partition(":")
+            labels |= self.state.globals.get((module, const), set())
+        return labels
+
+    def _eval_attribute(self, node: ast.Attribute) -> Set[Label]:
+        # Mmap labels propagate from the base (``mm.T`` is a view); env
+        # labels do NOT — an object is not environment-influenced merely
+        # because one of its *other* attributes is. Environment taint on
+        # attributes flows through tracked attribute stores instead,
+        # which keeps one tainted object (e.g. the disk-cache handle,
+        # whose directory is REPRO_CACHE_DIR-derived) from smearing its
+        # label across everything it touches.
+        labels = {label for label in self.eval(node.value) if label[0] == "mmap"}
+        owner = self.graph.expr_class(self.func, node.value)
+        if owner is not None:
+            labels |= self.state.attrs.get((owner, node.attr), set())
+        else:
+            labels |= self.state.attrs.get(("?", node.attr), set())
+        # ``module.CONST`` reads the defining module's global.
+        dotted = astutil.dotted_name(node.value)
+        if dotted is not None:
+            resolved = self.graph.resolve_dotted(self.func.module, dotted)
+            if resolved is not None and resolved[0] == "module":
+                labels |= self.state.globals.get((resolved[1], node.attr), set())
+        return labels
+
+    # ----------------------------------------------------------------- #
+    # Calls                                                             #
+    # ----------------------------------------------------------------- #
+
+    def _eval_call(self, node: ast.Call) -> Set[Label]:
+        receiver_labels: Set[Label] = set()
+        if isinstance(node.func, ast.Attribute):
+            receiver_labels = self.eval(node.func.value)
+
+        arg_labels: List[Set[Label]] = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                arg_labels.append(self.eval(arg.value))
+            else:
+                arg_labels.append(self.eval(arg))
+        kw_labels: List[Tuple[Optional[str], Set[Label]]] = [
+            (kw.arg, self.eval(kw.value)) for kw in node.keywords
+        ]
+        explicit_args: Set[Label] = set().union(
+            *arg_labels, *(labels for _, labels in kw_labels)
+        ) if (arg_labels or kw_labels) else set()
+
+        result: Set[Label] = env_only(explicit_args)
+
+        read = self.engine._env_read_at.get(id(node))
+        if read is not None and read.var is not None:
+            result.add(("env", read.var))
+
+        if self._is_mmap_load(node):
+            result.add(MMAP)
+
+        callee = self.graph.callee_at(self.func.qualname, node)
+        if callee is not None and callee in self.state.params:
+            # Resolved call: the receiver's labels bind to ``self`` and
+            # flow to the result only through the callee's real returns.
+            self._bind_args(node, callee, receiver_labels, arg_labels, kw_labels)
+            result |= self.state.rets.get(callee, set())
+            if self._provider_name(callee) in self.engine._providers:
+                result.add(MMAP)
+        else:
+            # Unresolved call: environment influence passes through the
+            # receiver too (``os.environ.get(X).lower()``).
+            result |= env_only(receiver_labels)
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _VIEW_METHODS
+                and MMAP in receiver_labels
+            ):
+                result.add(MMAP)
+
+        if self.report:
+            self._check_mutation(node, receiver_labels, arg_labels)
+        return result
+
+    def _bind_args(
+        self,
+        node: ast.Call,
+        callee: str,
+        receiver_labels: Set[Label],
+        arg_labels: List[Set[Label]],
+        kw_labels: List[Tuple[Optional[str], Set[Label]]],
+    ) -> None:
+        info = self.graph.functions[callee]
+        params = list(info.params)
+        state_params = self.state.params[callee]
+        extras = self.state.extras[callee]
+        offset = 0
+        if params and params[0] == "self":
+            offset = 1
+            if isinstance(node.func, ast.Attribute) and receiver_labels:
+                self.engine.merge(state_params["self"], receiver_labels)
+        for index, labels in enumerate(arg_labels):
+            if not labels:
+                continue
+            position = offset + index
+            if position < len(params):
+                self.engine.merge(state_params[params[position]], labels)
+            else:
+                self.engine.merge(extras, labels)
+        for name, labels in kw_labels:
+            if not labels:
+                continue
+            if name is not None and name in state_params:
+                self.engine.merge(state_params[name], labels)
+            else:
+                self.engine.merge(extras, labels)
+
+    @staticmethod
+    def _provider_name(qualname: str) -> str:
+        return qualname
+
+    def _is_mmap_load(self, node: ast.Call) -> bool:
+        dotted = astutil.dotted_name(node.func)
+        is_np_load = False
+        if dotted is not None and dotted.endswith(".load"):
+            root = dotted.split(".")[0]
+            binding = self.graph.bindings.get(self.func.module, {}).get(root)
+            if binding is not None and binding.kind == "module":
+                is_np_load = binding.module == "numpy"
+            else:
+                is_np_load = root == "numpy"
+        elif isinstance(node.func, ast.Name):
+            binding = self.graph.bindings.get(self.func.module, {}).get(node.func.id)
+            is_np_load = (
+                binding is not None
+                and binding.kind == "symbol"
+                and binding.module == "numpy"
+                and binding.name == "load"
+            )
+        if not is_np_load:
+            return False
+        for kw in node.keywords:
+            if kw.arg == "mmap_mode":
+                if isinstance(kw.value, ast.Constant) and kw.value.value is None:
+                    return False
+                return True
+        return False
+
+    def _check_mutation(
+        self,
+        node: ast.Call,
+        receiver_labels: Set[Label],
+        arg_labels: List[Set[Label]],
+    ) -> None:
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in _MUTATORS and MMAP in receiver_labels:
+                self._mmap_write(
+                    node, f"'{attr}()' mutates a memory-mapped array in place"
+                )
+                return
+            if attr in _NP_WRITERS and arg_labels and MMAP in arg_labels[0]:
+                dotted = astutil.dotted_name(node.func.value)
+                if dotted is not None:
+                    binding = self.graph.bindings.get(self.func.module, {}).get(
+                        dotted.split(".")[0]
+                    )
+                    if binding is not None and binding.kind == "module":
+                        if binding.module == "numpy":
+                            self._mmap_write(
+                                node,
+                                f"'np.{attr}()' writes into a memory-mapped "
+                                "array",
+                            )
+
+    def _mmap_write(self, node: ast.AST, detail: str) -> None:
+        self.engine.mmap_writes.append(
+            MmapWrite(
+                func=self.func.qualname,
+                module=self.func.module,
+                node=node,
+                detail=detail,
+            )
+        )

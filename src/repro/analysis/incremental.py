@@ -1,0 +1,309 @@
+"""Content-hash incremental linting: re-check only the dependency cone.
+
+A full ``lva-lint`` run parses every file and runs every rule's
+``check`` over every module. Most edits touch one file, and most rules
+are *local*: their ``check``-phase findings for a module depend only on
+that module's source plus the modules it (transitively) imports. The
+incremental runner exploits this:
+
+* every file is hashed (sha256 of its source) and **parsed** on every
+  run — parsing is cheap and the project-level ``finish`` rules need
+  all ASTs regardless;
+* ``check`` re-runs only on the *dependency cone* of the edit: the
+  changed files plus every module that transitively imports a changed
+  module (reverse-import closure). Unchanged files outside the cone
+  reuse their cached check-phase findings;
+* rules flagged ``incremental_safe = False`` (LVA005, whose ``check``
+  builds a cross-module index its ``finish`` consumes) always run over
+  every module and are never cached;
+* ``finish`` rules always run fresh over the full project context.
+
+The cache is one JSON file (default ``.lva-cache.json``) keyed by
+display path, carrying the source digest and the cached check-phase
+rows. A fingerprint of the rule set, select/ignore filters and the
+:class:`AnalysisConfig` guards it: any mismatch discards the cache
+wholesale rather than mixing results from different configurations.
+
+Cached rows are *pre-suppression*; ``# lva: ignore`` comments are
+re-applied on every run (they live in the same source the digest
+covers, so a suppression edit changes the digest and re-checks the
+file anyway — applying them late just keeps one code path).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
+from repro.analysis.core import (
+    ModuleInfo,
+    ProjectContext,
+    Violation,
+    all_rules,
+    rule_ids,
+)
+from repro.analysis.engine import apply_suppressions, discover_files, load_modules
+
+#: Bumped whenever the cache layout changes; mismatches discard the cache.
+CACHE_VERSION = 1
+
+
+@dataclass(slots=True)
+class IncrementalResult:
+    """One incremental run: the report plus what was actually re-checked."""
+
+    violations: List[Violation]
+    #: Display paths whose ``check`` phase ran this time (the cone).
+    analyzed: List[str] = field(default_factory=list)
+    #: Display paths served from the cache.
+    reused: List[str] = field(default_factory=list)
+
+
+def _digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _fingerprint(
+    config: AnalysisConfig,
+    select: Optional[FrozenSet[str]],
+    ignore: Optional[FrozenSet[str]],
+) -> str:
+    """Hash of everything (besides sources) that shapes the report."""
+    payload = repr(
+        (
+            CACHE_VERSION,
+            sorted(select) if select is not None else None,
+            sorted(ignore) if ignore is not None else None,
+            repr(config),
+            rule_ids(),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _import_base(info: ModuleInfo, node: ast.ImportFrom) -> Optional[str]:
+    """The absolute dotted module an ``ImportFrom`` resolves against."""
+    if node.level == 0:
+        return node.module
+    parts = info.module.split(".")
+    # A package __init__ is its own package; a plain module sits in one.
+    if not Path(info.path).name == "__init__.py":
+        parts = parts[:-1]
+    drop = node.level - 1
+    if drop >= len(parts):
+        return None
+    if drop:
+        parts = parts[: len(parts) - drop]
+    base = ".".join(parts)
+    if node.module:
+        return f"{base}.{node.module}" if base else node.module
+    return base or None
+
+
+def _note(dotted: str, universe: Set[str], deps: Set[str]) -> None:
+    """Record the deepest prefix of ``dotted`` naming a known module.
+
+    Only the deepest match: ``from repro.sim.trace import X`` depends on
+    ``repro.sim.trace``, not on the ``repro``/``repro.sim`` package
+    inits — edging to every prefix would make the package root a
+    dependency of the whole tree and inflate every cone to ~everything.
+    """
+    parts = dotted.split(".")
+    for depth in range(len(parts), 0, -1):
+        prefix = ".".join(parts[:depth])
+        if prefix in universe:
+            deps.add(prefix)
+            return
+
+
+def module_imports(info: ModuleInfo, universe: Set[str]) -> Set[str]:
+    """Modules in ``universe`` that ``info`` imports (any package depth)."""
+    deps: Set[str] = set()
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                _note(alias.name, universe, deps)
+        elif isinstance(node, ast.ImportFrom):
+            base = _import_base(info, node)
+            if base is None:
+                continue
+            _note(base, universe, deps)
+            for alias in node.names:
+                _note(f"{base}.{alias.name}", universe, deps)
+    deps.discard(info.module)
+    return deps
+
+
+def _dependency_cone(
+    infos: List[ModuleInfo],
+    changed_modules: Set[str],
+    extra_roots: Set[str],
+) -> Set[str]:
+    """Changed modules plus their transitive reverse importers.
+
+    ``extra_roots`` are modules no longer present (deleted files): their
+    former importers must re-check even though the root itself cannot.
+    """
+    universe = {info.module for info in infos} | extra_roots
+    importers: Dict[str, Set[str]] = {}
+    for info in infos:
+        for dep in module_imports(info, universe):
+            importers.setdefault(dep, set()).add(info.module)
+    cone: Set[str] = set()
+    frontier = list(changed_modules | extra_roots)
+    while frontier:
+        module = frontier.pop()
+        if module in cone:
+            continue
+        cone.add(module)
+        frontier.extend(importers.get(module, ()))
+    return cone
+
+
+def _load_cache(path: Path, fingerprint: str) -> Dict[str, dict]:
+    """The per-file cache entries, or empty on any mismatch/corruption."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(data, dict) or data.get("fingerprint") != fingerprint:
+        return {}
+    files = data.get("files")
+    return files if isinstance(files, dict) else {}
+
+
+def _save_cache(path: Path, fingerprint: str, files: Dict[str, dict]) -> None:
+    payload = {
+        "version": CACHE_VERSION,
+        "fingerprint": fingerprint,
+        "files": files,
+    }
+    try:
+        path.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    except OSError:
+        # A read-only checkout degrades to full runs, not failures.
+        pass
+
+
+def _decode_rows(path: str, rows: Iterable[Iterable[object]]) -> List[Violation]:
+    out: List[Violation] = []
+    for row in rows:
+        rule_id, line, col, message = row
+        out.append(Violation(str(rule_id), path, int(line), int(col), str(message)))
+    return out
+
+
+def _encode_rows(violations: Iterable[Violation]) -> List[List[object]]:
+    return [
+        [v.rule_id, v.line, v.col, v.message]
+        for v in sorted(violations, key=Violation.sort_key)
+    ]
+
+
+def run_paths_incremental(
+    paths: Iterable[str],
+    cache_path: Path,
+    config: AnalysisConfig = DEFAULT_CONFIG,
+    select: Optional[FrozenSet[str]] = None,
+    ignore: Optional[FrozenSet[str]] = None,
+) -> IncrementalResult:
+    """Lint ``paths`` reusing cached check-phase results where sound.
+
+    Produces the same report as :func:`repro.analysis.engine.run_paths`
+    over the same tree (the equivalence is pinned by
+    ``tests/analysis/test_incremental.py``), re-running ``check`` only
+    on the dependency cone of the files whose content hash changed.
+    """
+    cache_path = Path(cache_path)
+    fingerprint = _fingerprint(config, select, ignore)
+    cached = _load_cache(cache_path, fingerprint)
+
+    infos, errors = load_modules(discover_files(paths))
+    digests = {info.path: _digest(info.source) for info in infos}
+
+    changed_modules: Set[str] = set()
+    for info in infos:
+        entry = cached.get(info.path)
+        if entry is None or entry.get("sha256") != digests[info.path]:
+            changed_modules.add(info.module)
+    current_paths = set(digests)
+    removed_modules = {
+        str(entry.get("module", ""))
+        for path, entry in cached.items()
+        if path not in current_paths
+    } - {""}
+
+    cone = _dependency_cone(infos, changed_modules, removed_modules)
+    reanalyze = {info.path for info in infos if info.module in cone}
+
+    ctx = ProjectContext(infos, config)
+    raw: List[Violation] = []
+    fresh: Dict[str, List[Violation]] = {path: [] for path in reanalyze}
+    for rule in all_rules(select=select, ignore=ignore):
+        if rule.incremental_safe:
+            for info in ctx.ordered():
+                if info.path in reanalyze:
+                    found = list(rule.check(info, ctx))
+                    # Local rules anchor findings in the module they
+                    # check; bucket by the anchor path so the cache row
+                    # lands with the file that produced it.
+                    for violation in found:
+                        fresh.setdefault(violation.path, []).append(violation)
+                    raw.extend(found)
+        else:
+            for info in ctx.ordered():
+                raw.extend(rule.check(info, ctx))
+        raw.extend(rule.finish(ctx))
+
+    for info in ctx.ordered():
+        if info.path in reanalyze:
+            continue
+        entry = cached.get(info.path)
+        if entry is not None:
+            raw.extend(_decode_rows(info.path, entry.get("violations", ())))
+
+    kept = apply_suppressions(sorted(set(raw), key=Violation.sort_key), infos)
+    violations = sorted(errors + kept, key=Violation.sort_key)
+
+    files: Dict[str, dict] = {}
+    for info in infos:
+        if info.path in reanalyze:
+            rows = _encode_rows(fresh.get(info.path, ()))
+        else:
+            entry = cached.get(info.path, {})
+            rows = list(entry.get("violations", ()))
+        files[info.path] = {
+            "sha256": digests[info.path],
+            "module": info.module,
+            "violations": rows,
+        }
+    _save_cache(cache_path, fingerprint, files)
+
+    return IncrementalResult(
+        violations=violations,
+        analyzed=sorted(reanalyze),
+        reused=sorted(current_paths - reanalyze),
+    )
+
+
+def cone_for_edit(
+    infos: List[ModuleInfo], edited_modules: Set[str]
+) -> Set[str]:
+    """Public helper: the re-check cone for a set of edited modules."""
+    return _dependency_cone(infos, set(edited_modules), set())
+
+
+__all__ = [
+    "CACHE_VERSION",
+    "IncrementalResult",
+    "cone_for_edit",
+    "module_imports",
+    "run_paths_incremental",
+]

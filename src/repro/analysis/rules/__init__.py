@@ -10,17 +10,23 @@ from __future__ import annotations
 from repro.analysis.rules import (  # noqa: F401  (registration side effects)
     cachekey,
     determinism,
+    envflow,
     hotpath,
+    mmapflow,
     statscheck,
     telemetry,
+    workerflow,
     workers,
 )
 
 __all__ = [
     "cachekey",
     "determinism",
+    "envflow",
     "hotpath",
+    "mmapflow",
     "statscheck",
     "telemetry",
+    "workerflow",
     "workers",
 ]

@@ -1,0 +1,179 @@
+"""LVA007 — environment influence must be declared and key-sound.
+
+Every environment variable the code reads is a door through which the
+outside world can change results. The repository's contract
+(:mod:`repro.envspec`) classifies each ``REPRO_*`` variable:
+
+* ``keyed`` — the value influences simulation results, so its canonical
+  form must fold into the result-cache keys;
+* ``neutral`` — the value changes *where/how* work happens but never
+  *what* is computed, pinned by an equivalence test;
+* ``capture-only`` — observability: may flow anywhere except into cache
+  keys, pinned by a disabled-overhead test.
+
+The rule enforces, whole-program:
+
+1. every ``REPRO_*`` read resolves statically to a constant declared in
+   the envspec module — literal strings and re-declared constants break
+   the one-registry invariant, dynamic keys defeat the analysis;
+2. a ``keyed`` variable's taint provably reaches a cache-key function
+   (``*cache_key*`` / ``*disk_key*`` / ``point_key`` / ``trace_key``);
+3. a ``neutral`` or ``capture-only`` variable's taint never reaches
+   one, and the variable carries a pinning-test pointer.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, Iterator, List, Tuple
+
+from repro.analysis.core import ModuleInfo, ProjectContext, Rule, Violation, register
+from repro.analysis.flow import FlowAnalysis, flow_analysis
+from repro.analysis.flow.graphs import EnvRead, short_name
+
+
+def _load_registry(ctx: ProjectContext) -> Dict[str, Tuple[str, str, str]]:
+    """Var name -> (classification, pinned_by, keyed_via)."""
+    config = ctx.config
+    if config.env_registry:
+        return {
+            name: (classification, pinned_by, keyed_via)
+            for name, classification, pinned_by, keyed_via in config.env_registry
+        }
+    try:
+        module = importlib.import_module(config.envspec_module)
+    except ImportError:
+        return {}
+    registry: Dict[str, Tuple[str, str, str]] = {}
+    for var in module.all_vars():
+        registry[var.name] = (
+            var.classification,
+            var.pinned_by or "",
+            var.keyed_via or "",
+        )
+    return registry
+
+
+@register
+class EnvFlowRule(Rule):
+    """Env reads must be registered; influence must match classification."""
+
+    rule_id = "LVA007"
+    title = "environment influence must be declared and key-sound"
+
+    def check(self, info: ModuleInfo, ctx: ProjectContext) -> Iterator[Violation]:
+        return iter(())
+
+    def finish(self, ctx: ProjectContext) -> Iterator[Violation]:
+        flow = flow_analysis(ctx)
+        registry = _load_registry(ctx)
+        prefix = ctx.config.env_prefix
+        envspec_module = ctx.config.envspec_module
+
+        out: List[Violation] = []
+        reads_by_var: Dict[str, List[EnvRead]] = {}
+        for read in flow.env_reads:
+            info = ctx.modules.get(read.module)
+            if info is None or read.module == envspec_module:
+                continue
+            if read.source == "external":
+                # A constant imported from outside the linted tree: the
+                # whole-tree run verifies it; partial runs trust it.
+                continue
+            if read.var is None:
+                out.append(
+                    self.violation(
+                        info,
+                        read.node,
+                        "environment read with a key lva-lint cannot resolve "
+                        f"statically; read through a {envspec_module} constant",
+                    )
+                )
+                continue
+            if not read.var.startswith(prefix):
+                continue
+            reads_by_var.setdefault(read.var, []).append(read)
+            if read.var not in registry:
+                out.append(
+                    self.violation(
+                        info,
+                        read.node,
+                        f"environment variable {read.var} is not declared in "
+                        f"{envspec_module}; register it with a classification "
+                        "(keyed | neutral | capture-only)",
+                    )
+                )
+                continue
+            if read.source == "literal":
+                out.append(
+                    self.violation(
+                        info,
+                        read.node,
+                        f"{read.var} read via a string literal; read through "
+                        f"the {envspec_module} constant so the declaration "
+                        "and the use stay linked",
+                    )
+                )
+            elif read.source == "constant" and read.declared_in != envspec_module:
+                out.append(
+                    self.violation(
+                        info,
+                        read.node,
+                        f"{read.var} resolves to a constant declared in "
+                        f"{read.declared_in}, not {envspec_module}; alias the "
+                        "envspec constant instead of re-declaring the literal",
+                    )
+                )
+
+        for var, reads in sorted(reads_by_var.items()):
+            if var not in registry:
+                continue
+            classification, pinned_by, keyed_via = registry[var]
+            anchor = min(
+                reads,
+                key=lambda read: (
+                    ctx.modules[read.module].path,
+                    getattr(read.node, "lineno", 1),
+                    getattr(read.node, "col_offset", 0),
+                ),
+            )
+            info = ctx.modules[anchor.module]
+            sinks = flow.key_sink_hits.get(var, set())
+            if classification == "keyed":
+                if not sinks:
+                    via = f" via {keyed_via}" if keyed_via else ""
+                    out.append(
+                        self.violation(
+                            info,
+                            anchor.node,
+                            f"keyed env var {var} never provably reaches a "
+                            f"cache-key function{via}; keyed influence must "
+                            "fold into point/trace keys",
+                        )
+                    )
+                continue
+            if sinks:
+                names = ", ".join(sorted(short_name(sink) for sink in sinks))
+                out.append(
+                    self.violation(
+                        info,
+                        anchor.node,
+                        f"{classification} env var {var} taints cache-key "
+                        f"function(s) {names}; reclassify it as keyed or "
+                        "remove the influence",
+                    )
+                )
+            if not pinned_by:
+                out.append(
+                    self.violation(
+                        info,
+                        anchor.node,
+                        f"{classification} env var {var} has no pinning test "
+                        "(pinned_by); point its declaration at the test that "
+                        "proves result-neutrality",
+                    )
+                )
+        return iter(out)
+
+
+__all__ = ["EnvFlowRule", "FlowAnalysis"]

@@ -1,0 +1,56 @@
+"""LVA009 — memory-mapped trace arrays are read-only.
+
+Packed trace columns are shared across processes through
+``np.load(..., mmap_mode="r")`` (directly, or via ``TraceStore.get``).
+Writing into such an array either raises at runtime (``mmap_mode="r"``)
+or — far worse, after a ``setflags(write=True)`` — silently mutates the
+on-disk store every reader shares. The taint engine tracks mmap-backed
+values through views (names, attributes, subscripts, containers, known
+view methods) and this rule reports every in-place write it finds:
+subscript stores, augmented assignments, mutating ndarray methods
+(``fill``/``sort``/``resize``/...), and ``np.copyto``-family calls
+whose destination is mapped.
+
+Copies (``arr + 0``, ``np.array(arr)``, arithmetic results) shed the
+taint deliberately: materializing a private copy and writing to *that*
+is the sanctioned pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.analysis.core import ModuleInfo, ProjectContext, Rule, Violation, register
+from repro.analysis.flow import flow_analysis
+
+
+@register
+class MmapFlowRule(Rule):
+    """No in-place writes into mmap-backed arrays."""
+
+    rule_id = "LVA009"
+    title = "memory-mapped trace arrays are read-only"
+
+    def check(self, info: ModuleInfo, ctx: ProjectContext) -> Iterator[Violation]:
+        return iter(())
+
+    def finish(self, ctx: ProjectContext) -> Iterator[Violation]:
+        flow = flow_analysis(ctx)
+        out: List[Violation] = []
+        for write in flow.mmap_writes:
+            info = ctx.modules.get(write.module)
+            if info is None:
+                continue
+            out.append(
+                self.violation(
+                    info,
+                    write.node,
+                    f"{write.detail}; mmap-backed columns are shared "
+                    "read-only — materialize a copy (np.array(...)) before "
+                    "writing",
+                )
+            )
+        return iter(out)
+
+
+__all__ = ["MmapFlowRule"]

@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 output for ``lva-lint`` (``--sarif``).
+
+One run, one tool (``lva-lint``), one result per violation. The file is
+deliberately minimal — rule ids with titles, message text, and a
+physical location with line/column — which is all code-scanning UIs
+need to annotate a pull request. Ordering mirrors the text report
+(path, line, col, rule id) so the artifact is byte-stable for a given
+tree.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.analysis.core import Violation, all_rules
+from repro.analysis.engine import STALE_IGNORE_RULE_ID, SYNTAX_RULE_ID
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Titles for the engine-level pseudo-rules that have no Rule class.
+_PSEUDO_RULES = {
+    SYNTAX_RULE_ID: "file does not parse",
+    STALE_IGNORE_RULE_ID: "stale suppression comment",
+}
+
+
+def _rule_titles() -> Dict[str, str]:
+    titles = dict(_PSEUDO_RULES)
+    for rule in all_rules():
+        titles[rule.rule_id] = rule.title
+    return titles
+
+
+def to_sarif(violations: Iterable[Violation], tool_version: str = "0") -> dict:
+    """The SARIF log object for a finished run."""
+    ordered = sorted(violations, key=Violation.sort_key)
+    titles = _rule_titles()
+    used = sorted({v.rule_id for v in ordered} | set(titles))
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": titles.get(rule_id, rule_id)},
+        }
+        for rule_id in used
+    ]
+    results: List[dict] = []
+    for violation in ordered:
+        results.append(
+            {
+                "ruleId": violation.rule_id,
+                "level": "error",
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": violation.path.replace("\\", "/"),
+                            },
+                            "region": {
+                                "startLine": violation.line,
+                                "startColumn": violation.col,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "lva-lint",
+                        "version": tool_version,
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(violations: Iterable[Violation], tool_version: str = "0") -> str:
+    """The SARIF log serialized with stable key order."""
+    return json.dumps(to_sarif(violations, tool_version), indent=2, sort_keys=True) + "\n"
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "render_sarif", "to_sarif"]

@@ -169,7 +169,7 @@ class LoadValueApproximator:
             known = ", ".join(sorted(COMPUTE_FUNCTIONS))
             raise ConfigurationError(
                 f"unknown compute function {config.compute_fn!r} (known: {known})"
-            )
+            ) from None
         self._window = config.confidence_window
         self._window_is_inf = math.isinf(config.confidence_window)
         self._step_max = config.confidence_step_max

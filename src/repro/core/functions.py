@@ -86,7 +86,9 @@ def compute_approximation(
         fn = COMPUTE_FUNCTIONS[fn_name]
     except KeyError:
         known = ", ".join(sorted(COMPUTE_FUNCTIONS))
-        raise ConfigurationError(f"unknown compute function {fn_name!r} (known: {known})")
+        raise ConfigurationError(
+            f"unknown compute function {fn_name!r} (known: {known})"
+        ) from None
     result = fn(values)
     if is_float:
         return result

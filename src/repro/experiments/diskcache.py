@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.envspec import CACHE_DIR_ENV, NO_CACHE_ENV
 from repro.experiments import integrity
 from repro.faults import fsfaults
 
@@ -55,11 +56,9 @@ from repro.faults import fsfaults
 #: schema-mismatch.
 SCHEMA_VERSION = 2
 
-#: Environment variable that disables the disk layer entirely.
-NO_CACHE_ENV = "REPRO_NO_CACHE"
-
-#: Environment variable overriding the cache directory.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: ``NO_CACHE_ENV`` disables the disk layer entirely; ``CACHE_DIR_ENV``
+#: overrides the cache directory. Both are declared (with their
+#: cache-key classification) in :mod:`repro.envspec`.
 
 
 def default_cache_dir() -> Path:

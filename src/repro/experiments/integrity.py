@@ -36,6 +36,8 @@ import zlib
 from pathlib import Path
 from typing import Any, Dict, Optional, Set, Union
 
+from repro.envspec import STORE_VERIFY_ENV
+
 PathLike = Union[str, "os.PathLike[str]"]
 
 #: Magic prefixing every framed cache entry. The trailing byte is the
@@ -47,8 +49,9 @@ MAGIC = b"LVAC\x02\n"
 #: ``<magic><crc32 u32 le><payload length u32 le>``
 _HEADER = struct.Struct("<II")
 
-#: Env var disabling verify-on-read (checksums are always *written*).
-VERIFY_ENV = "REPRO_STORE_VERIFY"
+#: Env var disabling verify-on-read (checksums are always *written*);
+#: declared (with its cache-key classification) in :mod:`repro.envspec`.
+VERIFY_ENV = STORE_VERIFY_ENV
 
 
 class IntegrityError(ValueError):

@@ -31,12 +31,14 @@ import random
 import struct
 from typing import Optional, Tuple, Union
 
+from repro.envspec import INJECT_ENV
 from repro.faults import spec as spec_mod
 
 Number = Union[int, float]
 
-#: Environment variable carrying the global fault spec (set by --inject).
-INJECT_ENV = "REPRO_INJECT"
+# INJECT_ENV (the --inject spec carrier) is declared in repro.envspec —
+# it is the one environment variable classified `keyed`: its memory
+# clauses fold into the result-cache keys through active_memory_spec().
 
 #: Float bit regions selectable with ``region=`` (IEEE-754 double).
 _FLOAT_REGIONS = {

@@ -164,7 +164,9 @@ class MemoryFrontend(abc.ABC):
         try:
             actual = self.values[addr]
         except KeyError:
-            raise AddressError(f"load from unwritten address {addr:#x} (pc={pc:#x})")
+            raise AddressError(
+                f"load from unwritten address {addr:#x} (pc={pc:#x})"
+            ) from None
         returned = self._serve_load(pc, addr, actual, approximable, is_float)
         if self.recorder is not None:
             self.recorder.on_load(self._tid, pc, addr, actual, is_float, approximable)

@@ -52,6 +52,7 @@ from repro.core.confidence import confidence_update_steps
 from repro.core.entry import ApproximatorEntry
 from repro.core.functions import COMPUTE_FUNCTIONS
 from repro.core.hashing import context_hash, context_hash_array
+from repro.envspec import REPLAY_JIT_ENV, REPLAY_KERNEL_ENV
 from repro.errors import ConfigurationError
 from repro.mem.block import CacheBlock, CoherenceState
 
@@ -61,10 +62,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
 
 Number = Union[int, float]
 
-#: Environment variable selecting the replay path.
-ENV_KERNEL = "REPRO_REPLAY_KERNEL"
+#: Environment variable selecting the replay path; declared (with its
+#: cache-key classification) in :mod:`repro.envspec`.
+ENV_KERNEL = REPLAY_KERNEL_ENV
 #: Environment variable enabling the numba oracle (import-guarded).
-ENV_JIT = "REPRO_REPLAY_JIT"
+ENV_JIT = REPLAY_JIT_ENV
 #: The recognised replay paths, in increasing order of vectorization.
 REPLAY_PATHS = ("object", "packed", "vector")
 

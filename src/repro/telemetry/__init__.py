@@ -33,6 +33,7 @@ import os
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro import envspec
 from repro.telemetry.profiling import (
     HOT,
     Profiler,
@@ -57,10 +58,12 @@ from repro.telemetry.tracing import (
     read_trace,
 )
 
-TELEMETRY_ENV = "REPRO_TELEMETRY"
-TRACE_ENV = "REPRO_TRACE"
-INTERVAL_ENV = "REPRO_TELEMETRY_INTERVAL"
-SAMPLE_ENV = "REPRO_TELEMETRY_SAMPLE"
+# All four knobs are declared (classification: capture-only) in
+# repro.envspec; the local names predate the registry.
+TELEMETRY_ENV = envspec.TELEMETRY_ENV
+TRACE_ENV = envspec.TRACE_ENV
+INTERVAL_ENV = envspec.TELEMETRY_INTERVAL_ENV
+SAMPLE_ENV = envspec.TELEMETRY_SAMPLE_ENV
 
 DEFAULT_INTERVAL = 100_000
 DEFAULT_SAMPLE = 1024

@@ -30,11 +30,12 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
+from repro.envspec import TELEMETRY_HOT_ENV
 from repro.errors import ConfigurationError
 
 #: Compile-time-style switch for per-load ("hot") timing. Read once at
 #: import so the hot path tests a constant, not the environment.
-HOT: bool = os.environ.get("REPRO_TELEMETRY_HOT", "") not in ("", "0")
+HOT: bool = os.environ.get(TELEMETRY_HOT_ENV, "") not in ("", "0")
 
 
 class Profiler:

@@ -45,3 +45,4 @@ __all__ = [
     "run_with_frontend",
     "workload_names",
 ]
+

@@ -47,7 +47,7 @@ def get_workload(
     except KeyError:
         raise WorkloadError(
             f"unknown workload {name!r}; known: {', '.join(WORKLOADS)}"
-        )
+        ) from None
     if small:
         merged = dict(cls.small_params())
         if params:

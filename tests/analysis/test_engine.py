@@ -138,6 +138,9 @@ class TestRegistry:
             "LVA004",
             "LVA005",
             "LVA006",
+            "LVA007",
+            "LVA008",
+            "LVA009",
         ]
 
     def test_violation_render_format(self):

@@ -1,0 +1,178 @@
+"""Unit tests for the whole-program skeleton (``repro.analysis.flow.graphs``).
+
+Small synthetic universes, built straight from source strings, pin the
+resolution machinery the flow rules stand on: alias-aware symbol and
+constant resolution, call-graph construction (functions, methods,
+constructors), reachability with parent chains, and env-read
+classification (literal / constant / dynamic / external).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Dict, List
+
+from repro.analysis.core import ModuleInfo
+from repro.analysis.flow.graphs import ProjectGraph, pseudo_function, short_name
+
+
+def graph_of(sources: Dict[str, str]) -> ProjectGraph:
+    infos: List[ModuleInfo] = [
+        ModuleInfo.from_source(textwrap.dedent(source), module, f"<{module}>")
+        for module, source in sources.items()
+    ]
+    return ProjectGraph(infos)
+
+
+class TestSymbolResolution:
+    def test_function_through_import_alias_chain(self):
+        graph = graph_of(
+            {
+                "app.impl": "def work():\n    return 1\n",
+                "app.shim": "from app.impl import work as do_work\n",
+                "app.use": "from app.shim import do_work\n",
+            }
+        )
+        assert graph.resolve_symbol("app.use", "do_work") == (
+            "func",
+            "app.impl:work",
+        )
+
+    def test_from_package_import_submodule(self):
+        graph = graph_of(
+            {
+                "app": "",
+                "app.sub": "def f():\n    pass\n",
+                "app.use": "from app import sub\n",
+            }
+        )
+        assert graph.resolve_symbol("app.use", "sub") == ("module", "app.sub")
+
+    def test_string_constant_follows_reexport(self):
+        graph = graph_of(
+            {
+                "app.envspec": 'MODE_ENV = "APP_MODE"\n',
+                "app.shim": "from app.envspec import MODE_ENV\nALIAS = MODE_ENV\n",
+            }
+        )
+        assert graph.resolve_string_constant("app.shim", "ALIAS") == (
+            "APP_MODE",
+            "app.envspec",
+        )
+
+    def test_string_constant_from_declare_call(self):
+        graph = graph_of(
+            {
+                "app.envspec": (
+                    "def _declare(name, kind):\n"
+                    "    return name\n"
+                    'MODE_ENV = _declare("APP_MODE", "keyed")\n'
+                ),
+            }
+        )
+        assert graph.resolve_string_constant("app.envspec", "MODE_ENV") == (
+            "APP_MODE",
+            "app.envspec",
+        )
+
+
+class TestCallGraph:
+    UNIVERSE = {
+        "app.util": (
+            "def helper():\n"
+            "    return 1\n"
+        ),
+        "app.obj": (
+            "class Engine:\n"
+            "    def run(self):\n"
+            "        return self.step()\n"
+            "    def step(self):\n"
+            "        return 2\n"
+        ),
+        "app.main": (
+            "from app.util import helper\n"
+            "from app.obj import Engine\n"
+            "\n"
+            "def entry():\n"
+            "    engine = Engine()\n"
+            "    helper()\n"
+            "    return engine.run()\n"
+        ),
+    }
+
+    def test_function_and_method_edges_resolve(self):
+        graph = graph_of(self.UNIVERSE)
+        reachable, parents = graph.reachable_from(["app.main:entry"])
+        assert "app.util:helper" in reachable
+        assert "app.obj:Engine.run" in reachable
+        assert "app.obj:Engine.step" in reachable
+
+    def test_call_chain_renders_parent_links(self):
+        graph = graph_of(self.UNIVERSE)
+        _reachable, parents = graph.reachable_from(["app.main:entry"])
+        chain = graph.call_chain(parents, "app.obj:Engine.step")
+        assert chain == "app.main.entry -> app.obj.Engine.run -> app.obj.Engine.step"
+
+    def test_constructor_resolves_to_init(self):
+        graph = graph_of(
+            {
+                "app.obj": (
+                    "class Thing:\n"
+                    "    def __init__(self):\n"
+                    "        self.x = 1\n"
+                ),
+                "app.use": (
+                    "from app.obj import Thing\n"
+                    "def make():\n"
+                    "    return Thing()\n"
+                ),
+            }
+        )
+        reachable, _parents = graph.reachable_from(["app.use:make"])
+        assert "app.obj:Thing.__init__" in reachable
+
+    def test_module_body_is_a_pseudo_function(self):
+        graph = graph_of({"app.top": "import os\nVALUE = 1\n"})
+        assert pseudo_function("app.top") in graph.functions
+
+
+class TestEnvReads:
+    def test_classification_of_read_sources(self):
+        graph = graph_of(
+            {
+                "app.envspec": 'MODE_ENV = "APP_MODE"\n',
+                "app.cfg": (
+                    "import os\n"
+                    "from app.envspec import MODE_ENV\n"
+                    "from outside.mod import OTHER_ENV\n"
+                    "\n"
+                    "def read_mode():\n"
+                    '    return os.environ.get(MODE_ENV, "fast")\n'
+                    "\n"
+                    "def read_other():\n"
+                    "    return os.environ.get(OTHER_ENV)\n"
+                    "\n"
+                    "def read_lit():\n"
+                    '    return os.environ["APP_LIT"]\n'
+                    "\n"
+                    "def read_dyn(name):\n"
+                    "    return os.getenv(name)\n"
+                ),
+            }
+        )
+        by_func = {read.func: read for read in graph.env_reads}
+        mode = by_func["app.cfg:read_mode"]
+        assert (mode.var, mode.source, mode.declared_in) == (
+            "APP_MODE",
+            "constant",
+            "app.envspec",
+        )
+        assert by_func["app.cfg:read_other"].source == "external"
+        lit = by_func["app.cfg:read_lit"]
+        assert (lit.var, lit.source) == ("APP_LIT", "literal")
+        assert by_func["app.cfg:read_dyn"].source == "dynamic"
+
+
+def test_short_name_rendering():
+    assert short_name("app.obj:Engine.run") == "app.obj.Engine.run"
+    assert short_name("app.top:<module>") == "app.top"

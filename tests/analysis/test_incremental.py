@@ -1,0 +1,153 @@
+"""Incremental linting: content-hash cache + dependency-cone re-checks.
+
+A small on-disk package is linted through
+:func:`repro.analysis.run_paths_incremental` and the claims pinned are:
+
+* equivalence — the incremental report always matches the full
+  :func:`run_paths` report over the same tree;
+* minimality — an unchanged tree re-analyzes nothing, and a single-file
+  edit re-analyzes exactly that file plus its transitive reverse
+  importers;
+* safety — fingerprint changes (different rule selection) and cache
+  corruption discard the cache instead of mixing results.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_paths, run_paths_incremental
+
+#: Violates LVA002 in any module: a key function ignoring a field.
+BAD_KEY = textwrap.dedent(
+    """\
+    from dataclasses import dataclass
+
+
+    @dataclass(frozen=True)
+    class Point:
+        workload: str
+        seed: int
+
+
+    def point_disk_key(point: Point) -> tuple:
+        return (point.workload,)
+    """
+)
+
+GOOD_KEY = BAD_KEY.replace(
+    "return (point.workload,)", "return (point.workload, point.seed)"
+)
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    """proj/a.py (violation) <- proj/b.py (imports a); proj/c.py is free."""
+    pkg = tmp_path / "proj"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "a.py").write_text(BAD_KEY)
+    (pkg / "b.py").write_text("from proj.a import Point\n\nUSES = Point\n")
+    (pkg / "c.py").write_text("VALUE = 1\n")
+    return tmp_path
+
+
+def lint(tree: Path, **kwargs):
+    return run_paths_incremental(
+        [str(tree)], tree / ".lva-cache.json", **kwargs
+    )
+
+
+def test_first_run_analyzes_everything_and_matches_full_run(tree):
+    result = lint(tree)
+    assert len(result.analyzed) == 4
+    assert result.reused == []
+    assert result.violations == run_paths([str(tree)])
+    assert any(v.rule_id == "LVA002" for v in result.violations)
+
+
+def test_unchanged_tree_reuses_everything(tree):
+    lint(tree)
+    result = lint(tree)
+    assert result.analyzed == []
+    assert len(result.reused) == 4
+    # Cached violations are still reported.
+    assert any(v.rule_id == "LVA002" for v in result.violations)
+    assert result.violations == run_paths([str(tree)])
+
+
+def test_leaf_edit_reanalyzes_only_that_file(tree):
+    lint(tree)
+    (tree / "proj" / "c.py").write_text("VALUE = 2\n")
+    result = lint(tree)
+    assert [Path(p).name for p in result.analyzed] == ["c.py"]
+    assert len(result.reused) == 3
+    assert result.violations == run_paths([str(tree)])
+
+
+def test_edit_propagates_to_reverse_importers(tree):
+    lint(tree)
+    (tree / "proj" / "a.py").write_text(GOOD_KEY)
+    result = lint(tree)
+    assert sorted(Path(p).name for p in result.analyzed) == ["a.py", "b.py"]
+    assert [Path(p).name for p in result.reused] == ["__init__.py", "c.py"]
+    # The fix clears the cached violation.
+    assert result.violations == []
+    assert run_paths([str(tree)]) == []
+
+
+def test_deleted_file_drops_from_cache_and_report(tree):
+    lint(tree)
+    (tree / "proj" / "b.py").unlink()
+    (tree / "proj" / "a.py").write_text(GOOD_KEY)
+    result = lint(tree)
+    assert result.violations == []
+    assert all(Path(p).name != "b.py" for p in result.reused)
+
+
+def test_new_file_is_analyzed(tree):
+    lint(tree)
+    (tree / "proj" / "d.py").write_text(BAD_KEY)
+    result = lint(tree)
+    assert [Path(p).name for p in result.analyzed] == ["d.py"]
+    assert any("d.py" in v.path for v in result.violations)
+
+
+def test_fingerprint_mismatch_discards_cache(tree):
+    lint(tree)
+    result = lint(tree, select=frozenset({"LVA001"}))
+    # Different rule selection: nothing may be served from the old cache.
+    assert len(result.analyzed) == 4
+    assert result.violations == []
+
+
+def test_corrupt_cache_degrades_to_full_run(tree):
+    lint(tree)
+    (tree / ".lva-cache.json").write_text("{not json")
+    result = lint(tree)
+    assert len(result.analyzed) == 4
+    assert result.violations == run_paths([str(tree)])
+
+
+def test_cache_file_layout_is_stable_json(tree):
+    lint(tree)
+    data = json.loads((tree / ".lva-cache.json").read_text())
+    assert data["version"] == 1
+    assert set(data) == {"version", "fingerprint", "files"}
+    entry = next(iter(data["files"].values()))
+    assert set(entry) == {"sha256", "module", "violations"}
+
+
+def test_suppression_edit_recchecks_the_file(tree):
+    lint(tree)
+    suppressed = BAD_KEY.replace(
+        "def point_disk_key(point: Point) -> tuple:",
+        "def point_disk_key(point: Point) -> tuple:  # lva: ignore[LVA002]",
+    )
+    (tree / "proj" / "a.py").write_text(suppressed)
+    result = lint(tree)
+    assert result.violations == []

@@ -1,0 +1,76 @@
+"""Report determinism: violations sort by (path, line, col, rule id).
+
+Two findings at the same location must order by rule id; files order
+lexicographically; and repeated runs over the same tree produce
+byte-identical reports (the SARIF artifact and the CI diff depend on
+this).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import check_sources, render_text
+from repro.analysis.core import Violation
+
+#: One module with violations on several lines, plus a second module
+#: that sorts *before* it by name.
+SOURCES = {
+    "proj.b_mod": textwrap.dedent(
+        """\
+        from dataclasses import dataclass
+
+
+        @dataclass(frozen=True)
+        class Point:
+            workload: str
+            seed: int
+
+
+        def point_disk_key(point: Point) -> tuple:
+            return (point.workload,)
+
+
+        def other_disk_key(point: Point) -> tuple:
+            return (point.seed,)
+        """
+    ),
+    "proj.a_mod": textwrap.dedent(
+        """\
+        from dataclasses import dataclass
+
+
+        @dataclass(frozen=True)
+        class Spot:
+            alpha: str
+            beta: int
+
+
+        def spot_disk_key(spot: Spot) -> tuple:
+            return (spot.alpha,)
+        """
+    ),
+}
+
+
+def test_violations_sorted_by_path_line_col_rule():
+    violations = check_sources(SOURCES)
+    assert violations == sorted(violations, key=Violation.sort_key)
+    paths = [v.path for v in violations]
+    assert paths == sorted(paths)
+    # Both key functions in b_mod report, line-ordered.
+    b_lines = [v.line for v in violations if v.path == "<proj.b_mod>"]
+    assert b_lines == sorted(b_lines)
+    assert len(b_lines) == 2
+
+
+def test_repeated_runs_are_byte_identical():
+    first = render_text(check_sources(SOURCES))
+    second = render_text(check_sources(dict(reversed(list(SOURCES.items())))))
+    assert first == second
+
+
+def test_rule_id_breaks_ties_at_same_location():
+    a = Violation("LVA003", "p.py", 4, 1, "m")
+    b = Violation("LVA001", "p.py", 4, 1, "m")
+    assert sorted([a, b], key=Violation.sort_key) == [b, a]

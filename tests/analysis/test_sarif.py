@@ -1,0 +1,79 @@
+"""SARIF 2.1.0 output (``lva-lint --sarif``)."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis import check_source, render_sarif, rule_ids, to_sarif
+from repro.analysis.cli import main
+from repro.analysis.engine import STALE_IGNORE_RULE_ID, SYNTAX_RULE_ID
+
+BAD_KEY = textwrap.dedent(
+    """\
+    from dataclasses import dataclass
+
+
+    @dataclass(frozen=True)
+    class Point:
+        workload: str
+        seed: int
+
+
+    def point_disk_key(point: Point) -> tuple:
+        return (point.workload,)
+    """
+)
+
+
+def test_log_shape_and_result_fields():
+    violations = check_source(BAD_KEY, module="proj.keys")
+    log = to_sarif(violations)
+    assert log["version"] == "2.1.0"
+    assert "sarif-2.1.0" in log["$schema"]
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "lva-lint"
+
+    (result,) = run["results"]
+    assert result["ruleId"] == "LVA002"
+    assert result["level"] == "error"
+    assert result["message"]["text"]
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "<proj.keys>"
+    assert location["region"]["startLine"] == 10
+    assert location["region"]["startColumn"] == 1
+
+
+def test_driver_rules_cover_registry_and_pseudo_rules():
+    log = to_sarif([])
+    (run,) = log["runs"]
+    listed = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert set(rule_ids()) <= listed
+    assert SYNTAX_RULE_ID in listed
+    assert STALE_IGNORE_RULE_ID in listed
+
+
+def test_render_is_stable_and_parseable():
+    violations = check_source(BAD_KEY, module="proj.keys")
+    first = render_sarif(violations)
+    second = render_sarif(list(reversed(violations)))
+    assert first == second
+    assert json.loads(first)["version"] == "2.1.0"
+
+
+def test_cli_writes_sarif_file(tmp_path, capsys):
+    target = tmp_path / "keys.py"
+    target.write_text(BAD_KEY)
+    out = tmp_path / "lint.sarif"
+    assert main([str(target), "--sarif", str(out), "--no-summary"]) == 1
+    log = json.loads(out.read_text())
+    assert [r["ruleId"] for r in log["runs"][0]["results"]] == ["LVA002"]
+
+
+def test_cli_clean_tree_writes_empty_results(tmp_path):
+    target = tmp_path / "clean.py"
+    target.write_text("VALUE = 1\n")
+    out = tmp_path / "lint.sarif"
+    assert main([str(target), "--sarif", str(out), "--no-summary"]) == 0
+    assert json.loads(out.read_text())["runs"][0]["results"] == []

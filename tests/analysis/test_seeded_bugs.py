@@ -1,0 +1,161 @@
+"""Seeded-bug corpus: each flow rule catches its planted violation.
+
+A miniature repo shaped like the real one (envspec module, sweep worker
+module, trace store) with three deliberately planted bugs:
+
+* an undeclared-influence bug — a ``neutral`` env var's value leaks
+  into ``point_disk_key`` (LVA007);
+* a determinism bug — a worker entry calls a host-side helper that
+  reads the wall clock (LVA008);
+* a write into a memory-mapped trace column (LVA009).
+
+The buggy corpus must produce exactly the three planted findings; the
+fixed corpus must be clean. This is the end-to-end proof that the rules
+detect the failure modes they were built for, not just their fixture
+shapes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import textwrap
+from typing import Dict, List
+
+from repro.analysis import DEFAULT_CONFIG, check_sources
+from repro.analysis.core import Violation
+
+SELECT = frozenset({"LVA007", "LVA008", "LVA009"})
+
+CONFIG = dataclasses.replace(
+    DEFAULT_CONFIG,
+    env_registry=(
+        ("REPRO_SCALE", "neutral", "tests/experiments/test_scale.py", ""),
+    ),
+)
+
+#: The registry module: one neutral variable, declared once.
+ENVSPEC = """\
+    SCALE_ENV = "REPRO_SCALE"
+    """
+
+#: The trace store (matches DEFAULT_CONFIG's mmap provider).
+TRACESTORE = """\
+    class TraceStore:
+        def get(self, key):
+            return None
+    """
+
+BUGGY = {
+    "repro.envspec": ENVSPEC,
+    "repro.experiments.tracestore": TRACESTORE,
+    # Bug 1 (LVA007): the neutral scale factor flows into the disk key.
+    "repro.experiments.scale": """\
+        import os
+
+        from repro.envspec import SCALE_ENV
+
+        def read_scale():
+            return float(os.environ.get(SCALE_ENV, "1.0"))
+
+        def point_disk_key(point):
+            return (point.workload, point.seed, read_scale())
+        """,
+    # Bug 2 (LVA008): the worker entry's helper reads the wall clock.
+    "repro.experiments.helpers": """\
+        import time
+
+        def stamp_result(result):
+            result.finished_at = time.time()
+            return result
+        """,
+    "repro.experiments.sweep": """\
+        from repro.experiments.helpers import stamp_result
+
+        def _run_point(point):
+            return stamp_result(point)
+        """,
+    # Bug 3 (LVA009): patching a column loaded from the shared store.
+    "repro.experiments.repair": """\
+        from repro.experiments.tracestore import TraceStore
+
+        def zero_gaps(key):
+            columns = TraceStore().get(key)
+            columns[0] = 0
+            return columns
+        """,
+}
+
+FIXED = {
+    "repro.envspec": ENVSPEC,
+    "repro.experiments.tracestore": TRACESTORE,
+    # Fix 1: the key no longer depends on the scale factor.
+    "repro.experiments.scale": """\
+        import os
+
+        from repro.envspec import SCALE_ENV
+
+        def read_scale():
+            return float(os.environ.get(SCALE_ENV, "1.0"))
+
+        def point_disk_key(point):
+            return (point.workload, point.seed)
+        """,
+    # Fix 2: timestamps happen outside the worker path.
+    "repro.experiments.helpers": """\
+        def stamp_result(result, now):
+            result.finished_at = now
+            return result
+        """,
+    "repro.experiments.sweep": """\
+        from repro.experiments.helpers import stamp_result
+
+        def _run_point(point):
+            return point
+        """,
+    # Fix 3: write into a materialized copy.
+    "repro.experiments.repair": """\
+        import numpy as np
+
+        from repro.experiments.tracestore import TraceStore
+
+        def zero_gaps(key):
+            columns = np.array(TraceStore().get(key))
+            columns[0] = 0
+            return columns
+        """,
+}
+
+
+def run(sources: Dict[str, str]) -> List[Violation]:
+    return check_sources(
+        {module: textwrap.dedent(source) for module, source in sources.items()},
+        config=CONFIG,
+        select=SELECT,
+    )
+
+
+def test_each_planted_bug_is_caught():
+    violations = run(BUGGY)
+    report = "\n".join(v.render() for v in violations)
+    by_rule = {v.rule_id: v for v in violations}
+    assert set(by_rule) == {"LVA007", "LVA008", "LVA009"}, report
+    assert len(violations) == 3, report
+
+    env = by_rule["LVA007"]
+    assert env.path == "<repro.experiments.scale>"
+    assert "REPRO_SCALE taints" in env.message
+    assert "point_disk_key" in env.message
+
+    det = by_rule["LVA008"]
+    assert det.path == "<repro.experiments.helpers>"
+    assert "time.time()" in det.message
+    assert "_run_point" in det.message
+
+    mmap = by_rule["LVA009"]
+    assert mmap.path == "<repro.experiments.repair>"
+    assert mmap.line == 5
+
+
+def test_fixed_corpus_is_clean():
+    violations = run(FIXED)
+    assert violations == [], "\n".join(v.render() for v in violations)

@@ -10,8 +10,12 @@ from pathlib import Path
 
 from repro.analysis import render_text, run_paths
 from repro.analysis.cli import main
+from repro.analysis.engine import load_modules, discover_files, run_modules_raw, stale_suppressions
 
-REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+REPO_SRC = REPO_ROOT / "src"
+REPO_TESTS = REPO_ROOT / "tests"
+REPO_BENCHMARKS = REPO_ROOT / "benchmarks"
 
 
 def test_source_tree_exists():
@@ -21,6 +25,25 @@ def test_source_tree_exists():
 def test_lva_lint_src_is_clean():
     violations = run_paths([str(REPO_SRC)])
     assert violations == [], "\n" + render_text(violations)
+
+
+def test_lva_lint_tests_are_clean():
+    """The flow rules (LVA007-009) hold over the test tree too."""
+    violations = run_paths([str(REPO_TESTS)])
+    assert violations == [], "\n" + render_text(violations)
+
+
+def test_lva_lint_benchmarks_are_clean():
+    violations = run_paths([str(REPO_BENCHMARKS)])
+    assert violations == [], "\n" + render_text(violations)
+
+
+def test_no_stale_suppressions_in_src():
+    """Every '# lva: ignore' in src/ still silences a live violation."""
+    infos, _errors = load_modules(discover_files([str(REPO_SRC)]))
+    raw = run_modules_raw(infos)
+    stale = stale_suppressions(infos, raw)
+    assert stale == [], "\n" + render_text(stale)
 
 
 def test_cli_on_src_exits_zero(capsys):

@@ -1,0 +1,94 @@
+"""Stale-suppression detection (``lva-lint --stale-ignores``, LVA900).
+
+A ``# lva: ignore[...]`` that silences nothing is debt: it hides the
+fact that the underlying violation was fixed (or never existed) and
+will happily mask a *future* unrelated violation on the same line.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.cli import main
+from repro.analysis.core import ModuleInfo
+from repro.analysis.engine import (
+    STALE_IGNORE_RULE_ID,
+    run_modules_raw,
+    stale_suppressions,
+)
+
+#: Line 10 really violates LVA002; the suppression there is live.
+SUPPRESSED_BAD_KEY = textwrap.dedent(
+    """\
+    from dataclasses import dataclass
+
+
+    @dataclass(frozen=True)
+    class Point:
+        workload: str
+        seed: int
+
+
+    def point_disk_key(point: Point) -> tuple:  # lva: ignore[LVA002]
+        return (point.workload,)
+    """
+)
+
+
+def stale_for(source: str, module: str = "proj.mod"):
+    info = ModuleInfo.from_source(source, module, f"<{module}>")
+    raw = run_modules_raw([info])
+    return stale_suppressions([info], raw)
+
+
+class TestDetection:
+    def test_live_suppression_is_not_stale(self):
+        assert stale_for(SUPPRESSED_BAD_KEY) == []
+
+    def test_suppression_on_clean_line_is_stale(self):
+        stale = stale_for("VALUE = 1  # lva: ignore[LVA002]\n")
+        (violation,) = stale
+        assert violation.rule_id == STALE_IGNORE_RULE_ID
+        assert violation.line == 1
+        assert "LVA002" in violation.message
+        assert "stale suppression" in violation.message
+
+    def test_blanket_suppression_on_clean_line_is_stale(self):
+        stale = stale_for("VALUE = 1  # lva: ignore\n")
+        (violation,) = stale
+        assert "stale blanket suppression" in violation.message
+
+    def test_partially_stale_list_names_only_dead_rules(self):
+        source = SUPPRESSED_BAD_KEY.replace(
+            "# lva: ignore[LVA002]", "# lva: ignore[LVA002, LVA003]"
+        )
+        (violation,) = stale_for(source)
+        assert "LVA003" in violation.message
+        assert "LVA002" not in violation.message
+
+    def test_clean_file_without_suppressions_reports_nothing(self):
+        assert stale_for("VALUE = 1\n") == []
+
+
+class TestCLI:
+    def test_stale_ignore_fails_the_run(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("VALUE = 1  # lva: ignore[LVA001]\n")
+        assert main([str(target), "--stale-ignores"]) == 1
+        out = capsys.readouterr().out
+        assert STALE_IGNORE_RULE_ID in out
+
+    def test_without_flag_stale_ignores_pass(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("VALUE = 1  # lva: ignore[LVA001]\n")
+        assert main([str(target), "--no-summary"]) == 0
+
+    def test_staleness_judged_against_full_rule_set(self, tmp_path):
+        # The suppression is live for LVA002 even when --select excludes
+        # LVA002 from the report: dormant, not stale.
+        target = tmp_path / "mod.py"
+        target.write_text(SUPPRESSED_BAD_KEY)
+        assert (
+            main([str(target), "--select", "LVA001", "--stale-ignores", "--no-summary"])
+            == 0
+        )

@@ -1,5 +1,6 @@
 """Tests for the approximator configuration (Table II baseline)."""
 
+import dataclasses
 import math
 
 import pytest
@@ -81,5 +82,5 @@ class TestOverrides:
         assert base.ghb_size == 0  # original untouched
 
     def test_config_is_frozen(self):
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             BASELINE_CONFIG.ghb_size = 2  # type: ignore[misc]

@@ -1,0 +1,110 @@
+"""The declared-environment registry (``repro.envspec``).
+
+Pins the three registry invariants the runtime and the LVA007 lint rule
+lean on: completeness (every ``REPRO_*`` variable mentioned anywhere in
+the source tree is registered), evidence (every non-keyed variable
+points at a pinning test that exists; every keyed variable points at a
+resolvable key function), and documentation (the README table is the
+generated one, verbatim).
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import envspec
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+ENV_TOKEN = re.compile(r"\bREPRO_[A-Z][A-Z0-9_]*\b")
+
+
+def _mentioned_variables() -> set:
+    """Every REPRO_* token in the runtime trees (src/ and benchmarks/).
+
+    tests/ is deliberately excluded: lint fixtures and cross-process
+    test harnesses invent variable names that never reach the runtime.
+    Real env reads in tests go through the envspec constants anyway and
+    are policed by LVA007 over the test tree.
+    """
+    mentioned = set()
+    for tree in ("src", "benchmarks"):
+        for path in (REPO_ROOT / tree).rglob("*.py"):
+            mentioned.update(ENV_TOKEN.findall(path.read_text(encoding="utf-8")))
+    return mentioned
+
+
+class TestRegistryShape:
+    def test_every_variable_is_prefixed_and_classified(self):
+        for var in envspec.all_vars():
+            assert var.name.startswith("REPRO_")
+            assert var.classification in envspec.CLASSIFICATIONS
+            assert var.description
+
+    def test_keyed_variables_name_a_real_key_function(self):
+        keyed = [v for v in envspec.all_vars() if v.classification == "keyed"]
+        assert keyed, "at least REPRO_INJECT must be keyed"
+        for var in keyed:
+            assert var.keyed_via and not var.pinned_by
+            module_name, _, attr = var.keyed_via.rpartition(".")
+            module = importlib.import_module(module_name)
+            assert callable(getattr(module, attr)), var.keyed_via
+
+    def test_non_keyed_variables_point_at_an_existing_pinning_test(self):
+        for var in envspec.all_vars():
+            if var.classification == "keyed":
+                continue
+            assert var.pinned_by, var.name
+            assert (REPO_ROOT / var.pinned_by).is_file(), (
+                f"{var.name}: pinning test {var.pinned_by} does not exist"
+            )
+
+    def test_lookup_and_get_agree(self):
+        var = envspec.all_vars()[0]
+        assert envspec.get(var.name) is envspec.lookup(var.name)
+        assert envspec.lookup("REPRO_NOT_REGISTERED") is None
+        with pytest.raises(KeyError):
+            envspec.get("REPRO_NOT_REGISTERED")
+        assert envspec.classification(var.name) == var.classification
+
+
+class TestCompleteness:
+    def test_every_mentioned_variable_is_registered(self):
+        registered = {var.name for var in envspec.all_vars()}
+        unregistered = _mentioned_variables() - registered
+        assert unregistered == set(), (
+            f"REPRO_* variables used but not declared in repro.envspec: "
+            f"{sorted(unregistered)}"
+        )
+
+    def test_every_registered_variable_is_actually_used(self):
+        registered = {var.name for var in envspec.all_vars()}
+        unused = registered - _mentioned_variables()
+        assert unused == set(), (
+            f"registered but never read anywhere: {sorted(unused)}"
+        )
+
+
+class TestReadmeTable:
+    def test_readme_carries_the_generated_table(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        match = re.search(
+            r"<!-- envspec-table:begin -->\n(.*?)\n<!-- envspec-table:end -->",
+            readme,
+            re.DOTALL,
+        )
+        assert match, "README.md lost its envspec-table markers"
+        assert match.group(1) == envspec.markdown_flag_table(), (
+            "README env-var table is stale; regenerate with\n"
+            '  python -c "from repro import envspec; '
+            'print(envspec.markdown_flag_table())"'
+        )
+
+    def test_table_lists_every_variable(self):
+        table = envspec.markdown_flag_table()
+        for var in envspec.all_vars():
+            assert f"`{var.name}`" in table
