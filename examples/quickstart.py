@@ -67,6 +67,21 @@ def main() -> None:
         "\ncost of each approximation being allowed to be further off."
     )
 
+    # Swapping the whole technique is a registry name away — any entry in
+    # repro.predictors (lva, lvp, clp, hybrid) slots into the same pipeline:
+    print("\n== Predictor zoo: same workload, different techniques ==")
+    from repro.api import Simulation
+
+    for name in ("lva", "lvp", "clp", "hybrid"):
+        result = (
+            Simulation.builder()
+            .workload("swaptions", small=True)
+            .predictor(name)
+            .compare_precise()
+            .run()
+        )
+        print(result.summary())
+
 
 if __name__ == "__main__":
     main()

@@ -63,7 +63,7 @@ from repro.api import (
 )
 from repro.core.approximator import ApproximationDecision, LoadValueApproximator
 from repro.core.config import BASELINE_CONFIG, INFINITE_WINDOW, ApproximatorConfig
-from repro.core.predictor import IdealizedLoadValuePredictor
+from repro.predictors.lvp import IdealizedLoadValuePredictor
 from repro.errors import (
     AddressError,
     ConfigurationError,

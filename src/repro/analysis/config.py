@@ -89,6 +89,7 @@ class AnalysisConfig:
         "repro.prefetch",
         "repro.workloads",
         "repro.faults.memory",
+        "repro.predictors",
     )
     host_allowlist: Tuple[str, ...] = (
         "repro.experiments.runner",
@@ -98,6 +99,7 @@ class AnalysisConfig:
         "repro.mem",
         "repro.sim",
         "repro.prefetch",
+        "repro.predictors",
     )
     hot_methods: Tuple[str, ...] = (
         "SetAssociativeCache.access",
@@ -109,6 +111,7 @@ class AnalysisConfig:
         "SetAssociativeCache.invalidate",
         "TraceSimulator._serve_load",
         "TraceSimulator._serve_lva_miss",
+        "TraceSimulator._serve_generic_miss",
         "TraceSimulator._serve_store",
         "TraceSimulator._serve_store_streaming",
         "TraceSimulator._tick_value_delay",

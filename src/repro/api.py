@@ -20,9 +20,9 @@ data, safe to stash, compare and serialize. The helpers:
 
 * :func:`lva` — an :class:`~repro.core.config.ApproximatorConfig` with
   the paper's short parameter names (``window``, ``degree``, ``ghb``);
-* :func:`build_approximator` — a bare
-  :class:`~repro.core.approximator.LoadValueApproximator` to drive by
-  hand;
+* :func:`build_approximator` — a bare registry predictor (the paper's
+  :class:`~repro.core.approximator.LoadValueApproximator` by default)
+  to drive by hand;
 * :func:`audit` — annotation audit of a workload (Section IV);
 * :func:`run_experiment` — any table/figure by runner name, through the
   :class:`~repro.experiments.common.ExperimentDriver` protocol;
@@ -35,12 +35,17 @@ but emit :class:`DeprecationWarning`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
 from repro.core.config import ApproximatorConfig
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.predictors.base import MissPredictor
+    from repro.workloads.base import Workload
 
 __all__ = [
     "RunResult",
@@ -54,6 +59,15 @@ __all__ = [
 ]
 
 
+#: Short parameter names (as in :func:`lva`) -> ApproximatorConfig fields.
+_SHORT_NAMES = {
+    "window": "confidence_window",
+    "degree": "approximation_degree",
+    "ghb": "ghb_size",
+    "lhb": "lhb_size",
+}
+
+
 def lva(
     *,
     window: Optional[float] = None,
@@ -64,12 +78,14 @@ def lva(
     value_delay: Optional[int] = None,
     mantissa_drop_bits: Optional[int] = None,
     compute_fn: Optional[str] = None,
+    predictor: Optional[str] = None,
     **extra: object,
 ) -> ApproximatorConfig:
     """An approximator config using the paper's short names.
 
     ``window`` is the confidence window W, ``degree`` the approximation
-    degree, ``ghb``/``lhb`` the history-buffer sizes. Any other
+    degree, ``ghb``/``lhb`` the history-buffer sizes, ``predictor`` the
+    registry name a ``Mode.PREDICTOR`` run resolves. Any other
     :class:`~repro.core.config.ApproximatorConfig` field can be passed
     by its full name through ``extra``.
     """
@@ -90,6 +106,8 @@ def lva(
         kwargs["mantissa_drop_bits"] = mantissa_drop_bits
     if compute_fn is not None:
         kwargs["compute_fn"] = compute_fn
+    if predictor is not None:
+        kwargs["predictor"] = predictor
     try:
         return ApproximatorConfig(**kwargs)  # type: ignore[arg-type]
     except TypeError as exc:
@@ -98,11 +116,20 @@ def lva(
 
 def build_approximator(
     config: Optional[ApproximatorConfig] = None,
-) -> "LoadValueApproximator":
-    """A bare approximator to drive by hand (``on_miss``/``train``)."""
-    from repro.core.approximator import LoadValueApproximator
+) -> "MissPredictor":
+    """A bare predictor to drive by hand (``on_miss``/``train``).
 
-    return LoadValueApproximator(config or ApproximatorConfig())
+    Routed through the registry: ``config.predictor`` (default
+    ``"lva"``) names which entry is built, so
+    ``build_approximator(lva(predictor="clp"))`` hands back a
+    :class:`~repro.predictors.clp.CacheLevelPredictor` and the bare
+    default remains the paper's
+    :class:`~repro.core.approximator.LoadValueApproximator`.
+    """
+    from repro import predictors
+
+    config = config or ApproximatorConfig()
+    return predictors.create(config.predictor, config)
 
 
 @dataclass(frozen=True)
@@ -124,6 +151,9 @@ class RunResult:
     raw_mpki: float
     coverage: float
     fetches_per_ki: float
+    #: Registry name of the predictor that drove the run (``"lva"``,
+    #: ``"clp"``, ...); None for precise/prefetch runs.
+    predictor: Optional[str] = None
     output_error: Optional[float] = None
     stats: Dict[str, float] = field(default_factory=dict)
     metrics: Dict[str, float] = field(default_factory=dict)
@@ -132,9 +162,16 @@ class RunResult:
     trace: object = None
 
     def summary(self) -> str:
-        """One line, the way the figures report a run."""
+        """One line, the way the figures report a run.
+
+        Registry runs name their predictor (``canneal/predictor[clp]``)
+        so cross-predictor comparisons stay distinguishable in logs.
+        """
+        technique = self.mode
+        if self.predictor is not None and self.predictor != self.mode:
+            technique = f"{self.mode}[{self.predictor}]"
         text = (
-            f"{self.workload}/{self.mode}: mpki={self.mpki:.3f} "
+            f"{self.workload}/{technique}: mpki={self.mpki:.3f} "
             f"coverage={self.coverage:.1%} fetches/KI={self.fetches_per_ki:.3f}"
         )
         if self.output_error is not None:
@@ -186,11 +223,51 @@ class SimulationBuilder:
         return self
 
     def predictor(
-        self, config: Optional[ApproximatorConfig] = None
+        self,
+        name: object = None,
+        config: Optional[ApproximatorConfig] = None,
+        **overrides: object,
     ) -> "SimulationBuilder":
-        """The idealized load-value-prediction baseline (LVP)."""
+        """Serve approximable misses with a registry predictor by name.
+
+        ``name`` is a :mod:`repro.predictors` registry name (``"lva"``,
+        ``"lvp"``, ``"clp"``, ``"hybrid"``, ...); ``overrides`` take the
+        short parameter names of :func:`lva` and are applied on top of
+        ``config`` (or the baseline). Unknown names raise immediately,
+        listing what is registered::
+
+            Simulation.builder().workload("canneal").predictor("clp").run()
+
+        The pre-registry forms — ``predictor()`` toggling the idealized
+        LVP on, or a positional :class:`ApproximatorConfig` — still work
+        but emit :class:`DeprecationWarning`; call ``predictor("lvp")``
+        instead.
+        """
+        if isinstance(name, str):
+            from repro import predictors
+
+            predictors.get_info(name)  # unknown names fail loudly here
+            base = config if config is not None else ApproximatorConfig()
+            expanded = {_SHORT_NAMES.get(k, k): v for k, v in overrides.items()}
+            try:
+                self._config = base.with_overrides(predictor=name, **expanded)
+            except TypeError as exc:
+                raise ConfigurationError(f"predictor(): {exc}") from exc
+            self._mode_name = "predictor"
+            return self
+        if name is not None and not isinstance(name, ApproximatorConfig):
+            raise ConfigurationError(
+                f"predictor() wants a registry name, got {name!r}"
+            )
+        warnings.warn(
+            "SimulationBuilder.predictor() without a registry name is "
+            'deprecated; call predictor("lvp") for the idealized LVP '
+            "baseline",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._mode_name = "lvp"
-        self._config = config
+        self._config = name if isinstance(name, ApproximatorConfig) else config
         return self
 
     def prefetcher(self, degree: int = 4) -> "SimulationBuilder":
@@ -259,7 +336,7 @@ class Simulation:
         """Start a fluent configuration chain."""
         return SimulationBuilder()
 
-    def _instantiate(self) -> object:
+    def _instantiate(self) -> "Workload":
         from repro.workloads.base import Workload
         from repro.workloads.registry import get_workload
 
@@ -313,6 +390,7 @@ class Simulation:
             workload=getattr(workload, "name", type(workload).__name__),
             mode=mode.value,
             seed=b._seed,
+            predictor=sim.predictor_name,
             instructions=stats.instructions,
             mpki=stats.mpki,
             raw_mpki=stats.raw_mpki,

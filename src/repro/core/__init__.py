@@ -11,7 +11,7 @@ Section III and Figure 3 of *Load Value Approximation* (MICRO 2014):
   confidence window test of Section III-B;
 * :class:`~repro.core.approximator.LoadValueApproximator` — the approximator
   table with tag, confidence, degree counter and LHB per entry;
-* :class:`~repro.core.predictor.IdealizedLoadValuePredictor` — the idealized
+* :class:`~repro.predictors.lvp.IdealizedLoadValuePredictor` — the idealized
   LVP baseline used throughout Section VI.
 """
 
@@ -31,7 +31,7 @@ from repro.core.confidence import (
 from repro.core.functions import COMPUTE_FUNCTIONS, compute_approximation
 from repro.core.hashing import context_hash, quantize_float, value_to_bits
 from repro.core.history import HistoryBuffer
-from repro.core.predictor import IdealizedLoadValuePredictor, PredictionDecision
+from repro.predictors.lvp import IdealizedLoadValuePredictor, PredictionDecision
 
 __all__ = [
     "ApproximationDecision",

@@ -70,6 +70,13 @@ class ApproximatorConfig:
         compute_fn: Name of the LHB computation function ``f`` (registered
             in :mod:`repro.core.functions`); the paper found ``"average"``
             most accurate.
+        predictor: Registry name of the technique a ``Mode.PREDICTOR``
+            simulator builds from this config (see :mod:`repro.predictors`;
+            ``"lva"``, ``"lvp"``, ``"clp"``, ``"hybrid"``, ...). Ignored by
+            the fixed-technique modes; as a config field it folds into
+            every cache/disk/point key, so results computed by different
+            predictors can never collide. Name resolution is validated by
+            the registry at simulator construction time.
     """
 
     table_entries: int = 512
@@ -90,6 +97,7 @@ class ApproximatorConfig:
     approximation_degree: int = 0
     mantissa_drop_bits: int = 0
     compute_fn: str = "average"
+    predictor: str = "lva"
 
     def __post_init__(self) -> None:
         if self.table_entries <= 0 or self.table_entries & (self.table_entries - 1):
@@ -116,6 +124,8 @@ class ApproximatorConfig:
             raise ConfigurationError(
                 "mantissa_drop_bits must lie in [0, 23] (single-precision mantissa)"
             )
+        if not self.predictor:
+            raise ConfigurationError("predictor must name a registry entry")
 
     @property
     def index_bits(self) -> int:

@@ -133,6 +133,14 @@ INJECT_ENV = _declare(
     keyed_via="repro.faults.memory.active_memory_spec",
 )
 
+# Predictor registry (repro.predictors).
+PREDICTOR_ENV = _declare(
+    "REPRO_PREDICTOR",
+    "keyed",
+    "override the registry predictor for Mode.PREDICTOR runs (lva, lvp, clp, hybrid)",
+    keyed_via="repro.predictors.registry.active_override",
+)
+
 # Replay-kernel selection (repro.sim.kernels).
 REPLAY_KERNEL_ENV = _declare(
     "REPRO_REPLAY_KERNEL",

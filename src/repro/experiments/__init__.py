@@ -18,6 +18,7 @@ fig10      Full-system speedup + energy savings vs degree
 fig11      Normalized L1-miss EDP vs degree
 fig12      Static approximate-load PC counts
 fig13      fluidanimate MPKI vs float mantissa precision loss
+fig_predictors  Cross-predictor MPKI/coverage/error (registry zoo)
 =========  ==========================================================
 """
 

@@ -38,6 +38,7 @@ from typing import (
 
 from repro import envspec, faults, telemetry
 from repro.core.config import ApproximatorConfig
+from repro.predictors import registry as predictor_registry
 from repro.energy.model import EnergyBreakdown
 from repro.experiments import diskcache, tracestore
 from repro.fullsystem import FullSystemConfig, FullSystemResult, FullSystemSimulator
@@ -354,12 +355,16 @@ def technique_disk_key(
     small: bool,
     params_items: tuple,
     fault_spec: str = "",
+    predictor_override: str = "",
 ) -> str:
     """The disk-cache key of one technique point.
 
     An active memory-fault spec is a distinct key component (omitted
     entirely when clean, keeping clean keys stable across releases) so
-    corrupted-run results can never be served to clean runs.
+    corrupted-run results can never be served to clean runs. The
+    ``REPRO_PREDICTOR`` override gets the same treatment: it retargets
+    what a ``Mode.PREDICTOR`` point computes, so it must be a key
+    component — omitted when inactive so historical keys stay stable.
     """
     components = dict(
         workload=name,
@@ -372,6 +377,8 @@ def technique_disk_key(
     )
     if fault_spec:
         components["faults"] = fault_spec
+    if predictor_override:
+        components["predictor_override"] = predictor_override
     return diskcache.point_key("technique", **components)
 
 
@@ -485,7 +492,11 @@ def run_technique(
     """
     params_items = tuple(sorted((params or {}).items()))
     fault_spec = faults.active_memory_spec()
-    key = (name, mode, config, prefetch_degree, seed, small, params_items, fault_spec)
+    predictor_override = predictor_registry.active_override(mode.value)
+    key = (
+        name, mode, config, prefetch_degree, seed, small, params_items,
+        fault_spec, predictor_override,
+    )
     cached = _TECHNIQUE_CACHE.get(key)
     if cached is not None:
         COMPUTE_COUNTERS.technique_memory_hits += 1
@@ -494,7 +505,8 @@ def run_technique(
     disk_key = None
     if disk is not None:
         disk_key = technique_disk_key(
-            name, mode, config, prefetch_degree, seed, small, params_items, fault_spec
+            name, mode, config, prefetch_degree, seed, small, params_items,
+            fault_spec, predictor_override,
         )
         stored = disk.get(disk_key)
         if isinstance(stored, TechniqueResult):

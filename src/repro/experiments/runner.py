@@ -55,6 +55,7 @@ from repro.experiments import (
     fig11,
     fig12,
     fig13,
+    fig_predictors,
     table1,
     table2,
 )
@@ -81,6 +82,7 @@ DRIVERS: Dict[str, Driver] = {
     "fig11": fig11.DRIVER,
     "fig12": fig12.DRIVER,
     "fig13": fig13.DRIVER,
+    "fig_predictors": fig_predictors.DRIVER,
     **ablations.DRIVERS,
     "ablate-noc-model": noc_calibration.DRIVER,
     "ablate-sensitivity": sensitivity.DRIVER,

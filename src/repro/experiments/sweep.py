@@ -66,6 +66,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import faults, telemetry
 from repro.core.config import ApproximatorConfig
+from repro.predictors import registry as predictor_registry
 from repro.errors import PointTimeoutError
 from repro.experiments import common, diskcache, tracestore
 from repro.experiments.journal import NullJournal, RunJournal
@@ -225,6 +226,7 @@ def point_disk_key(point: SweepPoint) -> str:
             point.small,
             point.params,
             _point_fault_spec(point),
+            predictor_registry.active_override(point.mode.value),
         )
     return common._precise_disk_key(
         point.workload, point.seed, point.small, point.params
@@ -402,6 +404,7 @@ def _technique_cache_key(point: SweepPoint) -> tuple:  # lva: ignore[LVA002]
         point.small,
         point.params,
         _point_fault_spec(point),
+        predictor_registry.active_override(point.mode.value),
     )
 
 

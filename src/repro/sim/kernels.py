@@ -132,10 +132,12 @@ def vector_ineligibility(sim: "TraceSimulator") -> Optional[Tuple[str, bool]]:
         return "fault injection active (REPRO_INJECT)", True
     if sim._tel is not None:
         return "telemetry sampling active", True
-    mode = sim.mode.value
-    if mode == "prefetch":
+    if sim.prefetcher is not None:
         return "prefetch fills feed back into the miss stream", False
-    if mode == "lva" and sim.approximator.config.approximation_degree > 0:
+    if sim.generic_predictor is not None:
+        name = sim.predictor_name or type(sim.generic_predictor).__name__
+        return f"predictor {name!r} has no vector batch-kernel contract", False
+    if sim.approximator is not None and sim.approximator.config.approximation_degree > 0:
         return "approximation degree > 0 skips fetches data-dependently", False
     l1 = sim.l1
     if not l1._plain_lru:
@@ -836,7 +838,6 @@ def replay_vector(sim: "TraceSimulator", packed: "PackedTrace") -> None:
     if n == 0:
         return
 
-    mode = sim.mode.value
     is_store = packed.is_store
     loads_mask = ~is_store
     l1 = sim.l1
@@ -883,13 +884,14 @@ def replay_vector(sim: "TraceSimulator", packed: "PackedTrace") -> None:
         writebacks,
     )
 
-    if mode == "precise":
-        return
+    approximator = sim.approximator
+    if approximator is None and sim.predictor is None:
+        return  # precise: no technique state to replay
 
     miss_mask = approx_mask & (hits == 0)
     miss_idx = np.flatnonzero(miss_mask)
     miss_pc = packed.pc[miss_idx]
-    config = (sim.approximator or sim.predictor).config
+    config = (approximator or sim.predictor).config
     if config.ghb_size == 0:
         unique_pc, inverse = np.unique(miss_pc, return_inverse=True)
         u_idx, u_tag = context_hash_array(
@@ -919,9 +921,9 @@ def replay_vector(sim: "TraceSimulator", packed: "PackedTrace") -> None:
         "tag": mtag,
     }
 
-    if mode == "lva":
+    if approximator is not None:
         core = _lva_flat(sim, miss)
-        ap = sim.approximator
+        ap = approximator
         stats.covered_misses += core["covered"]
         a_stats = ap.stats
         a_stats.lookups += core["lookups"]

@@ -1,7 +1,6 @@
 """The phase-1 trace-driven simulator (Pin + cache-simulator substitute).
 
-Models a private L1 data cache and one of four techniques on its miss
-stream:
+Models a private L1 data cache and one technique on its miss stream:
 
 * ``PRECISE``  — conventional cache: every miss fetches its block (1:1).
 * ``LVA``     — the load value approximator: approximable misses may be
@@ -11,6 +10,10 @@ stream:
   counts as covered when the actual value appears in the entry's LHB.
 * ``PREFETCH`` — GHB prefetcher: every miss fetches and additionally issues
   up to ``degree`` prefetches (applied to all data, not just annotated).
+* ``PREDICTOR`` — any registered miss predictor (:mod:`repro.predictors`),
+  resolved by name from ``config.predictor`` (or the ``REPRO_PREDICTOR``
+  override). Resolving ``"lva"``/``"lvp"`` builds the exact objects the
+  fixed modes build, so those runs are bit-identical to ``LVA``/``LVP``.
 
 The simulator implements :class:`~repro.sim.frontend.MemoryFrontend`, so
 workloads run against it unmodified; with ``LVA`` the values returned to the
@@ -25,9 +28,10 @@ from typing import Optional, Union
 from repro.core.approximator import DelayQueue, LoadValueApproximator
 from repro.core.config import ApproximatorConfig
 from repro.faults.memory import build_memory_model
-from repro.core.predictor import IdealizedLoadValuePredictor
 from repro.errors import ConfigurationError
 from repro.mem.cache import CacheConfig, SetAssociativeCache
+from repro.predictors import registry as predictor_registry
+from repro.predictors.lvp import IdealizedLoadValuePredictor
 from repro.prefetch.base import Prefetcher
 from repro.prefetch.ghb import GHBPrefetcher
 from repro.sim import kernels
@@ -49,6 +53,8 @@ class Mode(enum.Enum):
     LVA = "lva"
     LVP = "lvp"
     PREFETCH = "prefetch"
+    #: Registry-resolved predictor (config.predictor / REPRO_PREDICTOR).
+    PREDICTOR = "predictor"
 
 
 class TraceSimulator(MemoryFrontend):
@@ -69,6 +75,10 @@ class TraceSimulator(MemoryFrontend):
         self.l1 = SetAssociativeCache(l1_config, name="L1D")
         self.approximator: Optional[LoadValueApproximator] = None
         self.predictor: Optional[IdealizedLoadValuePredictor] = None
+        #: Any other registry predictor (scalar MissPredictor contract).
+        self.generic_predictor: Optional[object] = None
+        #: Registry name of the technique driven on misses (None = none).
+        self.predictor_name: Optional[str] = None
         self.prefetcher: Optional[Prefetcher] = None
         self._delay: Optional[DelayQueue] = None
         # Injected memory faults (None in the overwhelmingly common clean
@@ -80,11 +90,21 @@ class TraceSimulator(MemoryFrontend):
         self._tel = sim_hook()
 
         config = approximator_config or ApproximatorConfig()
-        if mode is Mode.LVA:
-            self.approximator = LoadValueApproximator(config)
-            self._delay = DelayQueue(config.value_delay)
-        elif mode is Mode.LVP:
-            self.predictor = IdealizedLoadValuePredictor(config)
+        if mode in (Mode.LVA, Mode.LVP, Mode.PREDICTOR):
+            # All technique modes resolve through the registry. The fixed
+            # modes pin their historical names; PREDICTOR honours the env
+            # override, then config.predictor. Registry "lva"/"lvp" build
+            # the same classes as ever, so dispatch below stays on the
+            # bit-identical hard-coded paths for them.
+            name = predictor_registry.resolve_name(mode.value, config)
+            technique = predictor_registry.create(name, config)
+            self.predictor_name = name
+            if isinstance(technique, LoadValueApproximator):
+                self.approximator = technique
+            elif isinstance(technique, IdealizedLoadValuePredictor):
+                self.predictor = technique
+            else:
+                self.generic_predictor = technique
             self._delay = DelayQueue(config.value_delay)
         elif mode is Mode.PREFETCH:
             self.prefetcher = prefetcher or GHBPrefetcher(
@@ -128,21 +148,25 @@ class TraceSimulator(MemoryFrontend):
                 if self._tel is not None:
                     self._tel.on_fault("value_bit_flip", addr)
 
-        if self.mode is Mode.PREFETCH:
+        if self.prefetcher is not None:
             self._fetch(addr)
             for candidate in self.prefetcher.on_miss(pc, addr):
                 if not self.l1.contains(candidate):
                     self._fetch(candidate, prefetched=True)
             return actual
 
-        if self.mode is Mode.LVA and approximable:
-            return self._serve_lva_miss(pc, addr, actual, is_float)
+        if approximable:
+            if self.approximator is not None:
+                return self._serve_lva_miss(pc, addr, actual, is_float)
 
-        if self.mode is Mode.LVP and approximable:
-            decision = self.predictor.on_miss(pc, is_float)
-            if self._fetch(addr):  # LVP must always validate: 1:1 fetches
-                self._delay.push(decision.token, actual)
-            return actual  # rollbacks restore precision
+            if self.predictor is not None:
+                decision = self.predictor.on_miss(pc, is_float)
+                if self._fetch(addr):  # LVP must always validate: 1:1 fetches
+                    self._delay.push(decision.token, actual)
+                return actual  # rollbacks restore precision
+
+            if self.generic_predictor is not None:
+                return self._serve_generic_miss(pc, addr, actual, is_float)
 
         self._fetch(addr)
         return actual
@@ -160,6 +184,30 @@ class TraceSimulator(MemoryFrontend):
         else:
             self.stats.fetches_avoided += 1
         if decision.approximated:
+            self.stats.covered_misses += 1
+            return decision.value
+        return actual
+
+    def _serve_generic_miss(
+        self, pc: int, addr: int, actual: Number, is_float: bool
+    ) -> Number:
+        """Drive a registry predictor through the scalar MissPredictor
+        contract (see :mod:`repro.predictors.base`).
+
+        A returned value covers the miss at decision time (LVA-style); a
+        value-less decision proceeds precisely, and its training may still
+        report the miss as covered (rollback-style, like LVP/CLP).
+        """
+        decision = self.generic_predictor.on_miss(pc, is_float, addr)
+        if self._tel is not None:
+            self._tel.on_decision(pc, addr, decision.value is not None, decision.fetch)
+        if decision.fetch:
+            # A dropped fetch means the block never arrives: no training.
+            if self._fetch(addr) and decision.token is not None:
+                self._delay.push(decision.token, actual)
+        else:
+            self.stats.fetches_avoided += 1
+        if decision.value is not None:
             self.stats.covered_misses += 1
             return decision.value
         return actual
@@ -188,11 +236,13 @@ class TraceSimulator(MemoryFrontend):
             self._train(token, actual)
 
     def _train(self, token, actual: Number) -> None:
-        if self.mode is Mode.LVA:
+        if self.approximator is not None:
             self.approximator.train(token, actual)
-        else:  # LVP: correctness is resolved when the block arrives
-            if self.predictor.train(token, actual):
-                self.stats.covered_misses += 1
+            return
+        # Rollback techniques: coverage is resolved when the block arrives.
+        technique = self.predictor if self.predictor is not None else self.generic_predictor
+        if technique.train(token, actual):
+            self.stats.covered_misses += 1
 
     def _fetch(self, addr: int, prefetched: bool = False) -> bool:
         """Fetch a block into the L1; False when an injected fault drops it."""

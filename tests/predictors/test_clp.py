@@ -1,0 +1,85 @@
+"""Unit behaviour of the cache-level predictor (repro.predictors.clp)."""
+
+from __future__ import annotations
+
+from repro.core.config import ApproximatorConfig
+from repro.predictors.clp import (
+    CLP_BLOCK_BITS,
+    CLP_L2_BLOCKS,
+    LEVEL_L2,
+    LEVEL_MEMORY,
+    CacheLevelPredictor,
+)
+
+BLOCK = 1 << CLP_BLOCK_BITS
+
+
+def _drive(clp, pc, addr):
+    """One miss round-trip: probe, then train with an arbitrary value."""
+    decision = clp.on_miss(pc, is_float=False, addr=addr)
+    covered = clp.train(decision.token, 0)
+    return decision, covered
+
+
+class TestHierarchyModel:
+    def test_first_touch_fills_from_memory_then_hits_l2(self):
+        clp = CacheLevelPredictor()
+        first, _ = _drive(clp, pc=0x40, addr=0x1000)
+        assert first.token.actual_level == LEVEL_MEMORY
+        again, _ = _drive(clp, pc=0x40, addr=0x1000)
+        assert again.token.actual_level == LEVEL_L2
+        assert clp.stats.memory_fills == 1
+        assert clp.stats.l2_hits == 1
+
+    def test_l2_is_lru_bounded(self):
+        clp = CacheLevelPredictor()
+        clp.on_miss(0x40, False, addr=0)
+        # Evict block 0 by filling the whole modelled L2 with other blocks.
+        for i in range(1, CLP_L2_BLOCKS + 1):
+            clp.on_miss(0x40, False, addr=i * BLOCK)
+        refetch = clp.on_miss(0x40, False, addr=0)
+        assert refetch.token.actual_level == LEVEL_MEMORY
+
+
+class TestPredictions:
+    def test_cold_entry_does_not_predict(self):
+        clp = CacheLevelPredictor()
+        decision = clp.on_miss(0x40, False, addr=0x1000)
+        assert not decision.predicted
+        assert decision.token.predicted_level is None
+        assert clp.stats.cold_misses == 1
+
+    def test_history_majority_predicts_and_counts_coverage(self):
+        clp = CacheLevelPredictor()
+        _drive(clp, 0x40, 0x1000)  # memory; trains history [MEMORY]
+        decision, covered = _drive(clp, 0x40, 0x1000)  # actually L2 now
+        # One MEMORY observation in history -> predicted MEMORY, actual L2.
+        assert decision.token.predicted_level == LEVEL_MEMORY
+        assert not covered
+        # History now [MEMORY, L2]; tie predicts the deeper level.
+        decision, _ = _drive(clp, 0x40, 0x1000)
+        assert decision.token.predicted_level == LEVEL_MEMORY
+        # After enough L2 observations the majority flips and predicts right.
+        decision, covered = _drive(clp, 0x40, 0x1000)
+        assert decision.token.predicted_level == LEVEL_L2
+        assert decision.token.actual_level == LEVEL_L2
+        assert covered
+        assert clp.stats.correct >= 1
+
+    def test_never_returns_a_value(self):
+        clp = CacheLevelPredictor()
+        for i in range(32):
+            decision = clp.on_miss(0x40 + 8 * i, bool(i % 2), addr=0x2000 + i * BLOCK)
+            assert decision.value is None
+            assert decision.fetch
+            clp.train(decision.token, 1.5 * i)
+
+    def test_reset_clears_everything(self):
+        clp = CacheLevelPredictor(ApproximatorConfig(lhb_size=2))
+        _drive(clp, 0x40, 0x1000)
+        assert clp.allocated_entries == 1
+        clp.reset()
+        assert clp.allocated_entries == 0
+        assert clp.stats.lookups == 0
+        decision = clp.on_miss(0x40, False, addr=0x1000)
+        assert decision.token.actual_level == LEVEL_MEMORY  # L2 cleared too

@@ -1,0 +1,72 @@
+"""Unit behaviour of the tournament hybrid (repro.predictors.hybrid)."""
+
+from __future__ import annotations
+
+from repro.core.config import ApproximatorConfig
+from repro.predictors.hybrid import CHOOSER_MIN, HybridPredictor
+
+
+def _drive(hybrid, pc, value):
+    """One miss round-trip with an immediate (delay-free) training."""
+    decision = hybrid.on_miss(pc, is_float=True, addr=0)
+    covered = False
+    if decision.token is not None:
+        covered = hybrid.train(decision.token, value)
+    return decision, covered
+
+
+class TestArbitration:
+    def test_defaults_to_lva(self):
+        hybrid = HybridPredictor()
+        decision, _ = _drive(hybrid, 0x40, 1.0)
+        assert hybrid.stats.lva_selected == 1
+        assert hybrid.stats.lvp_selected == 0
+        assert decision.fetch
+
+    def test_chooser_switches_to_lvp_when_lva_is_wrong(self):
+        """Alternating {10, 1000}: the LHB average is always far outside
+        the 10% window (LVA wrong) while the exact value is always in the
+        oracle snapshot once both values have been seen (LVP right)."""
+        hybrid = HybridPredictor()
+        values = [10.0, 1000.0] * 16
+        for value in values:
+            _drive(hybrid, 0x80, value)
+        assert hybrid.stats.lvp_selected > 0
+        assert hybrid._chooser[0x80] == CHOOSER_MIN
+        # LVP-driven correct oracle predictions were reported as covered.
+        assert hybrid.stats.lvp_correct_trainings > hybrid.stats.lva_correct_trainings
+
+    def test_lvp_choice_covers_only_on_correct_oracle(self):
+        hybrid = HybridPredictor()
+        hybrid._chooser[0x80] = CHOOSER_MIN  # force the LVP side
+        seen_covered = []
+        for value in [10.0, 1000.0] * 8:
+            decision, covered = _drive(hybrid, 0x80, value)
+            assert decision.value is None  # LVP side never clobbers
+            seen_covered.append(covered)
+        assert any(seen_covered)
+
+    def test_stable_stream_stays_with_lva_and_approximates(self):
+        hybrid = HybridPredictor()
+        for _ in range(16):
+            _drive(hybrid, 0xC0, 5.0)
+        assert hybrid.stats.lvp_selected == 0
+        assert hybrid.stats.approximations > 0
+
+    def test_both_components_train_regardless_of_choice(self):
+        hybrid = HybridPredictor()
+        hybrid._chooser[0x40] = CHOOSER_MIN  # LVP drives...
+        for value in (1.0, 2.0, 3.0):
+            _drive(hybrid, 0x40, value)
+        # ...but the LVA component's table still learned the stream.
+        assert hybrid.lva.stats.trainings == 3
+        assert hybrid.lvp.stats.lookups == 3
+
+    def test_reset_clears_components_and_chooser(self):
+        hybrid = HybridPredictor(ApproximatorConfig(lhb_size=2))
+        for value in [10.0, 1000.0] * 8:
+            _drive(hybrid, 0x80, value)
+        hybrid.reset()
+        assert hybrid.stats.lookups == 0
+        assert hybrid._chooser == {}
+        assert hybrid.allocated_entries == 0

@@ -1,0 +1,69 @@
+"""The repro.core.predictor deprecation shims.
+
+The LVP implementation moved to repro.predictors.lvp; the old module
+must keep serving every public name — warning exactly once per name and
+returning the very object the registry serves.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro.core.predictor as shim_module
+from repro.predictors import lvp
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    saved = set(shim_module._warned)
+    shim_module._warned.clear()
+    yield
+    shim_module._warned.clear()
+    shim_module._warned.update(saved)
+
+
+class TestShims:
+    @pytest.mark.parametrize("name", shim_module._MOVED)
+    def test_shim_warns_exactly_once_and_returns_registry_object(self, name):
+        with pytest.warns(DeprecationWarning, match=name):
+            first = getattr(shim_module, name)
+        assert first is getattr(lvp, name)
+        # Second access: same object, no second warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert getattr(shim_module, name) is first
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            shim_module.NoSuchThing
+
+    def test_package_reexports_do_not_warn(self):
+        """`repro` and `repro.core` bind the new home at import time."""
+        import repro
+        import repro.core
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert repro.IdealizedLoadValuePredictor is lvp.IdealizedLoadValuePredictor
+            assert repro.core.PredictionDecision is lvp.PredictionDecision
+
+    def test_legacy_builder_form_warns(self):
+        from repro.api import Simulation
+
+        builder = Simulation.builder().workload("swaptions", small=True)
+        with pytest.warns(DeprecationWarning, match="registry name"):
+            builder.predictor()
+        assert builder._mode_name == "lvp"
+
+    def test_legacy_positional_config_form_warns(self):
+        from repro.api import Simulation
+        from repro.core.config import ApproximatorConfig
+
+        config = ApproximatorConfig(ghb_size=2)
+        builder = Simulation.builder().workload("swaptions", small=True)
+        with pytest.warns(DeprecationWarning):
+            builder.predictor(config)
+        assert builder._mode_name == "lvp"
+        assert builder._config is config
