@@ -1,0 +1,102 @@
+"""Per-configuration replay-throughput benchmarks for the vector kernels.
+
+PR 10 extended vector-kernel eligibility from flat degree-0 LVA/LVP to
+every phase-1 configuration: approximation degree > 0, the prefetcher,
+and the registry predictor zoo (``clp``, ``hybrid``).  These benchmarks
+time each newly eligible configuration on both interpreters and record
+the packed-vs-vector curves under the ``"configs"`` key of
+``BENCH_replay.json`` so future re-anchors can see whether the
+interleaved replays keep their lead.
+"""
+
+import time
+
+import pytest
+
+from repro.core.config import ApproximatorConfig
+from repro.sim.tracesim import Mode, TraceSimulator
+
+#: Every configuration this PR made vector-eligible, as
+#: (label, mode, approximator-config kwargs).
+CONFIGS = [
+    ("degree-1", Mode.LVA, {"approximation_degree": 1}),
+    ("degree-2", Mode.LVA, {"approximation_degree": 2}),
+    ("degree-3", Mode.LVA, {"approximation_degree": 3}),
+    ("predictor-lva", Mode.PREDICTOR, {"predictor": "lva"}),
+    ("predictor-lvp", Mode.PREDICTOR, {"predictor": "lvp"}),
+    ("predictor-clp", Mode.PREDICTOR, {"predictor": "clp"}),
+    ("predictor-hybrid", Mode.PREDICTOR, {"predictor": "hybrid"}),
+    ("prefetch", Mode.PREFETCH, {}),
+]
+
+
+@pytest.fixture(scope="module")
+def captured():
+    """One full-scale workload capture shared by every benchmark here."""
+    from repro import TraceRecorder, get_workload
+
+    recorder = TraceRecorder(record_stores=True)
+    sim = TraceSimulator(Mode.PRECISE, recorder=recorder)
+    get_workload("canneal", small=False).execute(sim, 0)
+    sim.finish()
+    return recorder.trace.pack()
+
+
+def _simulator(mode, kwargs):
+    return TraceSimulator(mode, approximator_config=ApproximatorConfig(**kwargs))
+
+
+@pytest.mark.parametrize("path", ["packed", "vector"])
+@pytest.mark.parametrize(
+    "label,mode,kwargs", CONFIGS, ids=[c[0] for c in CONFIGS]
+)
+def test_config_replay_throughput(
+    benchmark, captured, monkeypatch, label, mode, kwargs, path
+):
+    monkeypatch.setenv("REPRO_REPLAY_KERNEL", path)
+    stats = benchmark(lambda: _simulator(mode, kwargs).replay(captured))
+    assert stats.loads > 0
+
+
+def test_write_bench_config_json(monkeypatch, captured):
+    """Merge the per-configuration throughput curves into
+    ``BENCH_replay.json`` under ``"configs"`` (read-modify-write, so the
+    per-workload curves written by ``test_trace_pack`` survive) — and
+    assert the headline claim: every newly eligible configuration
+    replays faster under the vector kernel than the packed interpreter.
+
+    Uses ``time.perf_counter`` directly (not the ``benchmark`` fixture)
+    so the file is written even under ``--benchmark-disable``. Output
+    path overridable via ``REPRO_BENCH_OUT``.
+    """
+    import json
+    import os
+    from pathlib import Path
+
+    from repro.envspec import BENCH_OUT_ENV
+
+    def events_per_sec(mode, kwargs, path):
+        monkeypatch.setenv("REPRO_REPLAY_KERNEL", path)
+        # One warm-up, then the timed run.
+        _simulator(mode, kwargs).replay(captured)
+        sim = _simulator(mode, kwargs)
+        start = time.perf_counter()
+        sim.replay(captured)
+        elapsed = time.perf_counter() - start
+        return len(captured) / elapsed if elapsed > 0 else float("inf")
+
+    configs = {}
+    for label, mode, kwargs in CONFIGS:
+        configs[label] = {
+            path: round(events_per_sec(mode, kwargs, path))
+            for path in ("packed", "vector")
+        }
+        configs[label]["events"] = len(captured)
+
+    out = Path(os.environ.get(BENCH_OUT_ENV, "BENCH_replay.json"))
+    merged = json.loads(out.read_text()) if out.exists() else {}
+    merged["configs"] = configs
+    out.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+    for label, curve in configs.items():
+        assert curve["vector"] > curve["packed"], (label, curve)

@@ -141,7 +141,12 @@ def test_write_bench_replay_json(monkeypatch, captured):
     from repro.experiments.common import BASELINE_WORKLOADS
 
     def events_per_sec(packed, path):
-        monkeypatch.setenv("REPRO_REPLAY_KERNEL", path)
+        if path == "default":
+            # Auto-selection: vector when eligible and the trace clears
+            # REPRO_REPLAY_VECTOR_MIN, packed below the threshold.
+            monkeypatch.delenv("REPRO_REPLAY_KERNEL", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_REPLAY_KERNEL", path)
         # One warm-up, then the timed run.
         TraceSimulator(Mode.LVA).replay(packed)
         sim = TraceSimulator(Mode.LVA)
@@ -159,26 +164,23 @@ def test_write_bench_replay_json(monkeypatch, captured):
         packed = recorder.trace.pack()
         results[name] = {
             path: round(events_per_sec(packed, path))
-            for path in ("object", "packed", "vector")
+            for path in ("object", "packed", "vector", "default")
         }
         results[name]["events"] = len(packed)
 
     large = captured.pack()
     results["canneal-large"] = {
         path: round(events_per_sec(large, path))
-        for path in ("object", "packed", "vector")
+        for path in ("object", "packed", "vector", "default")
     }
     results["canneal-large"]["events"] = len(large)
 
     out = Path(os.environ.get(BENCH_OUT_ENV, "BENCH_replay.json"))
-    out.write_text(
-        json.dumps(
-            {"mode": "lva", "unit": "events/sec", "workloads": results},
-            indent=2,
-            sort_keys=True,
-        )
-        + "\n"
-    )
+    # Read-modify-write so the per-config curves recorded by
+    # benchmarks/test_kernels.py under "configs" survive.
+    merged = json.loads(out.read_text()) if out.exists() else {}
+    merged.update({"mode": "lva", "unit": "events/sec", "workloads": results})
+    out.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
 
     # The headline assertion: the vector kernel must beat the packed
     # interpreter on the largest workload (benchmark noise makes the
@@ -186,3 +188,9 @@ def test_write_bench_replay_json(monkeypatch, captured):
     # the JSON rather than asserted).
     big = results["canneal-large"]
     assert big["vector"] > big["packed"], big
+
+    # And the swaptions fix: its trace sits below the vector threshold,
+    # so default selection must route it to the packed interpreter
+    # instead of regressing onto the vector kernel.
+    small = results["swaptions"]
+    assert small["default"] > small["vector"], small

@@ -58,8 +58,14 @@ class AnalysisConfig:
             numpy passes.
         kernel_fn_suffixes: Function-name suffixes marking the batch
             contract inside ``kernel_modules``.
+        batch_method_suffixes: Method-name suffixes marking predictor
+            batch entry points (``on_miss_batch``/``train_batch``)
+            inside hot-path packages; LVA003 forbids event-field reads
+            in them — batch methods receive scalar columns, never event
+            objects — but their scalar-fallback loops are allowed.
         event_fields: Per-event attribute names whose read inside a
-            kernel function betrays scalar (object-at-a-time) access.
+            kernel function or batch method betrays scalar
+            (object-at-a-time) access.
         flow_entry_points: Extra call-graph roots (``module:Qual.name``)
             for LVA008's reachability sweep — the public simulation
             entry methods; worker entries and kernel batch functions are
@@ -130,6 +136,7 @@ class AnalysisConfig:
     telemetry_modules: Tuple[str, ...] = ("repro.telemetry",)
     kernel_modules: Tuple[str, ...] = ("repro.sim.kernels",)
     kernel_fn_suffixes: Tuple[str, ...] = ("_kernel", "_span", "_spans")
+    batch_method_suffixes: Tuple[str, ...] = ("_batch",)
     event_fields: Tuple[str, ...] = (
         "tid",
         "pc",
@@ -188,6 +195,14 @@ class AnalysisConfig:
         contract inside a kernel module."""
         for suffix in self.kernel_fn_suffixes:
             if function_name.endswith(suffix):
+                return True
+        return False
+
+    def is_batch_method(self, method_name: str) -> bool:
+        """True when a method name carries the predictor batch contract
+        (scalar columns in, never event objects) in a hot-path module."""
+        for suffix in self.batch_method_suffixes:
+            if method_name.endswith(suffix):
                 return True
         return False
 

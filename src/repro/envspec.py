@@ -154,6 +154,12 @@ REPLAY_JIT_ENV = _declare(
     "numba-compile the replay kernels' L1 oracle (falls back when absent)",
     pinned_by="tests/sim/test_kernels.py",
 )
+REPLAY_VECTOR_MIN_ENV = _declare(
+    "REPRO_REPLAY_VECTOR_MIN",
+    "neutral",
+    "event count below which auto-selection prefers the packed interpreter (default 512)",
+    pinned_by="tests/sim/test_kernels.py",
+)
 
 # Observability (repro.telemetry).
 TELEMETRY_ENV = _declare(

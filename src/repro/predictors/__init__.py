@@ -16,7 +16,11 @@ Importing this package registers the built-in entries; out-of-tree
 predictors call :func:`register_predictor` themselves.
 """
 
-from repro.predictors.base import MissPredictor, PredictorDecision
+from repro.predictors.base import (
+    MissPredictor,
+    PredictorDecision,
+    ScalarBatchFallback,
+)
 from repro.predictors.registry import (
     DEFAULT_PREDICTOR,
     PredictorInfo,
@@ -41,6 +45,7 @@ __all__ = [
     "MissPredictor",
     "PredictorDecision",
     "PredictorInfo",
+    "ScalarBatchFallback",
     "UnknownPredictorError",
     "active_override",
     "available_predictors",

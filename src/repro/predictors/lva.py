@@ -20,5 +20,6 @@ register_predictor(
         description="load value approximation: approximate f(LHB) values, no rollback",
         zero_output_error=False,
         batch_kernel="lva",
+        uses_degree=True,
     )
 )

@@ -27,6 +27,7 @@ from repro.core.config import ApproximatorConfig
 from repro.core.entry import ApproximatorEntry
 from repro.core.hashing import context_hash
 from repro.core.history import HistoryBuffer
+from repro.predictors.base import ScalarBatchFallback
 from repro.predictors.registry import PredictorInfo, register_predictor
 
 Number = Union[int, float]
@@ -72,7 +73,7 @@ class PredictorStats:
         return self.correct / resolved if resolved else 0.0
 
 
-class IdealizedLoadValuePredictor:
+class IdealizedLoadValuePredictor(ScalarBatchFallback):
     """LVP sharing the approximator's table organisation (GHB + LHB).
 
     Reuses :class:`ApproximatorEntry` so that LVP-GHB-*n* in Figure 4 is an

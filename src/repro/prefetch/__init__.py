@@ -6,8 +6,14 @@ using local delta correlation with next-line prefetching (Nesbit & Smith,
 budget matches the 512-entry, 4-value-LHB approximator.
 """
 
-from repro.prefetch.base import Prefetcher, PrefetcherStats
+from repro.prefetch.base import Prefetcher, PrefetcherStats, block_of_array
 from repro.prefetch.ghb import GHBPrefetcher
 from repro.prefetch.nextline import NextLinePrefetcher
 
-__all__ = ["GHBPrefetcher", "NextLinePrefetcher", "Prefetcher", "PrefetcherStats"]
+__all__ = [
+    "GHBPrefetcher",
+    "NextLinePrefetcher",
+    "Prefetcher",
+    "PrefetcherStats",
+    "block_of_array",
+]

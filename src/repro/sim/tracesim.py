@@ -288,7 +288,7 @@ class TraceSimulator(MemoryFrontend):
         :func:`repro.experiments.common.run_technique`'s live phase-1
         runs, whose output error depends on the clobbered values.
         """
-        path = kernels.select_path(self)
+        path = kernels.select_path(self, len(trace))
         if path == "vector":
             packed = trace.pack() if isinstance(trace, Trace) else trace
             kernels.replay_vector(self, packed)

@@ -165,6 +165,89 @@ class TestHotMethodAllocations:
         )
 
 
+class TestBatchMethods:
+    """The predictor batch contract: ``*_batch`` methods in hot-path
+    packages take scalar columns and must never read event fields,
+    though they may loop (the scalar fallbacks iterate by design)."""
+
+    MODULE = "repro.predictors.snippet"
+
+    def test_event_field_read_in_batch_method_fires(self):
+        assert _hits(
+            """\
+            class StridePredictor:
+                def on_miss_batch(self, events):
+                    return [self.on_miss(e.pc, e.is_float) for e in events]
+            """,
+            module=self.MODULE,
+        ) == [(3, "LVA003"), (3, "LVA003")]
+
+    def test_event_field_read_in_train_batch_fires(self):
+        assert _hits(
+            """\
+            class StridePredictor:
+                def train_batch(self, tokens, events):
+                    covered = 0
+                    for i in range(len(tokens)):
+                        covered += self.train(tokens[i], events[i].value)
+                    return covered
+            """,
+            module=self.MODULE,
+        ) == [(5, "LVA003")]
+
+    def test_scalar_fallback_loop_is_clean(self):
+        # The ScalarBatchFallback shape: plain columns in, a loop over
+        # the scalar API — loops are explicitly allowed here.
+        assert (
+            _hits(
+                """\
+                class ScalarBatchFallback:
+                    def on_miss_batch(self, pcs, float_flags, addrs):
+                        out = []
+                        for i in range(len(pcs)):
+                            out.append(self.on_miss(pcs[i], float_flags[i], addrs[i]))
+                        return out
+
+                    def train_batch(self, tokens, actuals):
+                        covered = 0
+                        for i in range(len(tokens)):
+                            covered += 1 if self.train(tokens[i], actuals[i]) else 0
+                        return covered
+                """,
+                module=self.MODULE,
+            )
+            == []
+        )
+
+    def test_non_batch_method_may_read_event_fields(self):
+        # Only the *_batch suffix carries the column contract; scalar
+        # entry points legitimately take an event-shaped argument.
+        assert (
+            _hits(
+                """\
+                class Recorder:
+                    def observe(self, event):
+                        self.last_pc = event.pc
+                """,
+                module=self.MODULE,
+            )
+            == []
+        )
+
+    def test_batch_methods_outside_hotpath_packages_are_exempt(self):
+        assert (
+            _hits(
+                """\
+                class ReportBuilder:
+                    def rows_batch(self, events):
+                        return [e.pc for e in events]
+                """,
+                module="repro.experiments.snippet",
+            )
+            == []
+        )
+
+
 class TestKernelFunctions:
     """The batch contract of the vectorized replay kernels: functions
     named ``*_kernel``/``*_span(s)`` in kernel modules must be

@@ -90,16 +90,39 @@ class TestTraceSimReplayBitEquality:
     )
     @pytest.mark.parametrize("path", ["packed", "vector"])
     def test_every_replay_path_matches_object_replay(self, mode, path, monkeypatch):
-        import warnings
-
         from repro.sim import kernels
 
         trace = capture("swaptions")
         monkeypatch.setenv(kernels.ENV_KERNEL, "object")
         object_stats = TraceSimulator(mode).replay(trace)
         monkeypatch.setenv(kernels.ENV_KERNEL, path)
-        with warnings.catch_warnings():
-            # PREFETCH pinned to vector downgrades with a warning.
-            warnings.simplefilter("ignore", kernels.ReplayDowngradeWarning)
-            pinned_stats = TraceSimulator(mode).replay(trace.pack())
+        # Every mode — prefetch included — replays vector-eligible now.
+        pinned_stats = TraceSimulator(mode).replay(trace.pack())
+        assert pinned_stats == object_stats
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            ApproximatorConfig(approximation_degree=2),
+            ApproximatorConfig(approximation_degree=4, ghb_size=2),
+            ApproximatorConfig(predictor="clp"),
+            ApproximatorConfig(predictor="hybrid"),
+            ApproximatorConfig(predictor="hybrid", approximation_degree=2),
+        ],
+        ids=["deg2", "deg4-ghb2", "clp", "hybrid", "hybrid-deg2"],
+    )
+    @pytest.mark.parametrize("path", ["packed", "vector"])
+    def test_degree_and_predictor_configs_match_object_replay(
+        self, config, path, monkeypatch
+    ):
+        from repro.sim import kernels
+
+        mode = Mode.PREDICTOR if config.predictor else Mode.LVA
+        trace = capture("fluidanimate")
+        monkeypatch.setenv(kernels.ENV_KERNEL, "object")
+        object_stats = TraceSimulator(mode, approximator_config=config).replay(trace)
+        monkeypatch.setenv(kernels.ENV_KERNEL, path)
+        pinned_stats = TraceSimulator(mode, approximator_config=config).replay(
+            trace.pack()
+        )
         assert pinned_stats == object_stats

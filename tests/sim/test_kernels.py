@@ -66,6 +66,18 @@ def replay_on(trace, mode, path, monkeypatch, config=None):
     return stats, sim
 
 
+def _assert_same_lva_tables(a_tech, b_tech):
+    assert a_tech.stats == b_tech.stats
+    assert a_tech.allocated_entries == b_tech.allocated_entries
+    assert list(a_tech.ghb) == list(b_tech.ghb)
+    for index, entry in a_tech._table.items():
+        other = b_tech._table[index]
+        assert entry.tag == other.tag
+        assert entry.confidence.value == other.confidence.value
+        assert entry.degree_counter == other.degree_counter
+        assert list(entry.lhb) == list(other.lhb)
+
+
 def assert_same_state(a_sim, b_sim):
     """Equality beyond SimulationStats: cache + technique counters."""
     assert a_sim.l1.stats == b_sim.l1.stats
@@ -74,14 +86,25 @@ def assert_same_state(a_sim, b_sim):
         a_tech, b_tech = getattr(a_sim, attr), getattr(b_sim, attr)
         assert (a_tech is None) == (b_tech is None)
         if a_tech is not None:
-            assert a_tech.stats == b_tech.stats
-            assert a_tech.allocated_entries == b_tech.allocated_entries
-            assert list(a_tech.ghb) == list(b_tech.ghb)
-            for index, entry in a_tech._table.items():
-                other = b_tech._table[index]
-                assert entry.tag == other.tag
-                assert entry.confidence.value == other.confidence.value
-                assert list(entry.lhb) == list(other.lhb)
+            _assert_same_lva_tables(a_tech, b_tech)
+    g_a, g_b = a_sim.generic_predictor, b_sim.generic_predictor
+    assert (g_a is None) == (g_b is None)
+    if g_a is not None:
+        assert g_a.stats == g_b.stats
+        assert g_a.allocated_entries == g_b.allocated_entries
+        if hasattr(g_a, "_l2"):  # clp: modelled-L2 contents in LRU order
+            assert list(g_a._l2) == list(g_b._l2)
+            assert {i: (e.tag, list(e.levels)) for i, e in g_a._table.items()} == {
+                i: (e.tag, list(e.levels)) for i, e in g_b._table.items()
+            }
+        if hasattr(g_a, "_chooser"):  # hybrid: chooser + both components
+            assert g_a._chooser == g_b._chooser
+            _assert_same_lva_tables(g_a.lva, g_b.lva)
+            assert g_a.lvp.stats == g_b.lvp.stats
+    pf_a, pf_b = a_sim.prefetcher, b_sim.prefetcher
+    assert (pf_a is None) == (pf_b is None)
+    if pf_a is not None:
+        assert pf_a.stats == pf_b.stats
 
 
 class TestBitEquality:
@@ -127,6 +150,188 @@ class TestConfigSweepEquality:
         vec_stats, vec_sim = replay_on(trace, mode, "vector", monkeypatch, config)
         assert vec_stats == ref_stats
         assert_same_state(vec_sim, ref_sim)
+
+
+class TestDegreeBitEquality:
+    """Degree-triggered fetch skips replay at vector speed, bit-identical
+    (the interleaved LVA pass): all workloads × degrees 1-3."""
+
+    @pytest.mark.parametrize("name", BASELINE_WORKLOADS)
+    @pytest.mark.parametrize("degree", [1, 2, 3])
+    def test_vector_matches_object(self, name, degree, traces, monkeypatch):
+        config = ApproximatorConfig(approximation_degree=degree)
+        trace = traces[name]
+        ref_stats, ref_sim = replay_on(trace, Mode.LVA, "object", monkeypatch, config)
+        vec_stats, vec_sim = replay_on(trace, Mode.LVA, "vector", monkeypatch, config)
+        assert vec_stats == ref_stats
+        assert_same_state(vec_sim, ref_sim)
+
+    def test_degree_actually_skips_fetches_under_vector(self, traces, monkeypatch):
+        """Canary: the pin above is vacuous if no fetch was ever skipped."""
+        config = ApproximatorConfig(approximation_degree=2)
+        stats, sim = replay_on(
+            traces["x264"], Mode.LVA, "vector", monkeypatch, config
+        )
+        assert stats.fetches_avoided > 0
+        assert sim.approximator.stats.fetches_skipped == stats.fetches_avoided
+        assert stats.fetches < stats.raw_misses
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            ApproximatorConfig(approximation_degree=2, ghb_size=2),
+            ApproximatorConfig(approximation_degree=2, value_delay=0),
+            ApproximatorConfig(approximation_degree=2, value_delay=9),
+            ApproximatorConfig(approximation_degree=2, apply_confidence_to_ints=True),
+            ApproximatorConfig(approximation_degree=2, compute_fn="stride"),
+            ApproximatorConfig(approximation_degree=2, lhb_size=1),
+        ],
+    )
+    def test_degree_config_sweep(self, config, traces, monkeypatch):
+        trace = traces["fluidanimate"]
+        ref_stats, ref_sim = replay_on(trace, Mode.LVA, "object", monkeypatch, config)
+        vec_stats, vec_sim = replay_on(trace, Mode.LVA, "vector", monkeypatch, config)
+        assert vec_stats == ref_stats
+        assert_same_state(vec_sim, ref_sim)
+
+
+class TestPredictorZooBitEquality:
+    """Every registry predictor replays through the vector kernel (flat
+    cores for lva/lvp, the batch-contract driver for clp/hybrid),
+    bit-identical on all workloads."""
+
+    @pytest.mark.parametrize("name", BASELINE_WORKLOADS)
+    @pytest.mark.parametrize("predictor", ["lva", "lvp", "clp", "hybrid"])
+    def test_vector_matches_object(self, name, predictor, traces, monkeypatch):
+        config = ApproximatorConfig(predictor=predictor)
+        trace = traces[name]
+        ref_stats, ref_sim = replay_on(
+            trace, Mode.PREDICTOR, "object", monkeypatch, config
+        )
+        vec_stats, vec_sim = replay_on(
+            trace, Mode.PREDICTOR, "vector", monkeypatch, config
+        )
+        assert vec_stats == ref_stats
+        assert_same_state(vec_sim, ref_sim)
+
+    @pytest.mark.parametrize("value_delay", [0, 9])
+    @pytest.mark.parametrize("predictor", ["clp", "hybrid"])
+    def test_batch_driver_run_slicing_across_delays(
+        self, predictor, value_delay, traces, monkeypatch
+    ):
+        """The run-based batch driver's interleaving depends on the value
+        delay; pin the extremes (immediate due vs. long in-flight runs)."""
+        config = ApproximatorConfig(predictor=predictor, value_delay=value_delay)
+        trace = traces["bodytrack"]
+        ref_stats, ref_sim = replay_on(
+            trace, Mode.PREDICTOR, "object", monkeypatch, config
+        )
+        vec_stats, vec_sim = replay_on(
+            trace, Mode.PREDICTOR, "vector", monkeypatch, config
+        )
+        assert vec_stats == ref_stats
+        assert_same_state(vec_sim, ref_sim)
+
+    def test_hybrid_honors_degree_under_vector(self, traces, monkeypatch):
+        """Hybrid inherits LVA's fetch skips: degree > 0 routes it through
+        the interleaved generic pass, still bit-identical."""
+        config = ApproximatorConfig(predictor="hybrid", approximation_degree=2)
+        trace = traces["x264"]
+        ref_stats, ref_sim = replay_on(
+            trace, Mode.PREDICTOR, "object", monkeypatch, config
+        )
+        vec_stats, vec_sim = replay_on(
+            trace, Mode.PREDICTOR, "vector", monkeypatch, config
+        )
+        assert vec_stats == ref_stats
+        assert vec_stats.fetches_avoided > 0
+        assert_same_state(vec_sim, ref_sim)
+
+    def test_clp_covers_misses_under_vector(self, traces, monkeypatch):
+        """Canary: correct level predictions count as covered misses."""
+        config = ApproximatorConfig(predictor="clp")
+        stats, sim = replay_on(
+            traces["fluidanimate"], Mode.PREDICTOR, "vector", monkeypatch, config
+        )
+        assert stats.covered_misses > 0
+        assert sim.generic_predictor.stats.correct == stats.covered_misses
+
+
+class TestPrefetchBitEquality:
+    """Prefetch fill injection replays at vector speed: the interleaved
+    pass drives the real prefetcher and models usefulness flags."""
+
+    def test_prefetch_actually_fires_under_vector(self, traces, monkeypatch):
+        stats, sim = replay_on(traces["bodytrack"], Mode.PREFETCH, "vector", monkeypatch)
+        assert stats.prefetch_fetches > 0
+        assert sim.l1.stats.useful_prefetches > 0
+
+    @pytest.mark.parametrize("degree", [1, 8])
+    def test_prefetch_degree_sweep(self, degree, traces, monkeypatch):
+        trace = traces["canneal"].pack()
+        monkeypatch.setenv(kernels.ENV_KERNEL, "object")
+        ref_sim = TraceSimulator(Mode.PREFETCH, prefetch_degree=degree)
+        ref_stats = ref_sim.replay(trace)
+        monkeypatch.setenv(kernels.ENV_KERNEL, "vector")
+        vec_sim = TraceSimulator(Mode.PREFETCH, prefetch_degree=degree)
+        vec_stats = vec_sim.replay(trace)
+        assert vec_stats == ref_stats
+        assert_same_state(vec_sim, ref_sim)
+
+    def test_nextline_prefetcher_matches(self, traces, monkeypatch):
+        from repro.prefetch.nextline import NextLinePrefetcher
+
+        trace = traces["fluidanimate"].pack()
+        monkeypatch.setenv(kernels.ENV_KERNEL, "object")
+        ref_sim = TraceSimulator(Mode.PREFETCH, prefetcher=NextLinePrefetcher(degree=4))
+        ref_stats = ref_sim.replay(trace)
+        monkeypatch.setenv(kernels.ENV_KERNEL, "vector")
+        vec_sim = TraceSimulator(Mode.PREFETCH, prefetcher=NextLinePrefetcher(degree=4))
+        vec_stats = vec_sim.replay(trace)
+        assert vec_stats == ref_stats
+        assert_same_state(vec_sim, ref_sim)
+
+
+class TestSmallTraceSelection:
+    """Satellite: tiny traces auto-select the packed interpreter — the
+    vector pipeline's fixed numpy setup dominates under a few hundred
+    events — silently (both paths are bit-identical, so this is a
+    heuristic, not a downgrade)."""
+
+    def test_small_trace_auto_selects_packed(self, monkeypatch):
+        monkeypatch.delenv(kernels.ENV_KERNEL, raising=False)
+        sim = TraceSimulator(Mode.LVA)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", kernels.ReplayDowngradeWarning)
+            assert kernels.select_path(sim, kernels.DEFAULT_VECTOR_MIN - 1) == "packed"
+            assert kernels.select_path(sim, kernels.DEFAULT_VECTOR_MIN) == "vector"
+            assert kernels.select_path(sim) == "vector"  # unknown length
+
+    def test_threshold_env_override(self, monkeypatch):
+        monkeypatch.delenv(kernels.ENV_KERNEL, raising=False)
+        monkeypatch.setenv(kernels.ENV_VECTOR_MIN, "8")
+        sim = TraceSimulator(Mode.LVA)
+        assert kernels.select_path(sim, 8) == "vector"
+        assert kernels.select_path(sim, 7) == "packed"
+
+    def test_invalid_threshold_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VECTOR_MIN, "lots")
+        with pytest.raises(ConfigurationError):
+            kernels.vector_min_events()
+
+    def test_forced_vector_bypasses_threshold(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_KERNEL, "vector")
+        assert kernels.select_path(TraceSimulator(Mode.LVA), 4) == "vector"
+
+    def test_default_selection_matches_forced_vector(self, traces, monkeypatch):
+        """The swaptions small trace (the original regression) replays
+        packed by default yet stays bit-identical to forced vector."""
+        trace = traces["swaptions"]
+        assert len(trace.pack()) < kernels.DEFAULT_VECTOR_MIN
+        monkeypatch.delenv(kernels.ENV_KERNEL, raising=False)
+        default_stats = TraceSimulator(Mode.LVA).replay(trace.pack())
+        forced_stats, _ = replay_on(trace, Mode.LVA, "vector", monkeypatch)
+        assert default_stats == forced_stats
 
 
 class TestContinuationEquality:
@@ -238,16 +443,22 @@ class TestPathSelection:
         monkeypatch.setenv(kernels.ENV_KERNEL, path)
         assert kernels.select_path(TraceSimulator(Mode.LVA)) == path
 
-    def test_prefetch_mode_is_ineligible(self):
-        reason = kernels.vector_ineligibility(TraceSimulator(Mode.PREFETCH))
-        assert reason is not None and reason[1] is False
+    def test_prefetch_mode_is_eligible(self):
+        assert kernels.vector_ineligibility(TraceSimulator(Mode.PREFETCH)) is None
 
-    def test_degree_is_ineligible(self):
+    def test_degree_is_eligible(self):
         sim = TraceSimulator(
             Mode.LVA, approximator_config=ApproximatorConfig(approximation_degree=4)
         )
-        reason = kernels.vector_ineligibility(sim)
-        assert reason is not None and "degree" in reason[0]
+        assert kernels.vector_ineligibility(sim) is None
+
+    @pytest.mark.parametrize("predictor", ["lva", "lvp", "clp", "hybrid"])
+    def test_registry_predictors_are_eligible(self, predictor):
+        sim = TraceSimulator(
+            Mode.PREDICTOR,
+            approximator_config=ApproximatorConfig(predictor=predictor),
+        )
+        assert kernels.vector_ineligibility(sim) is None
 
     def test_non_lru_policy_is_ineligible(self):
         sim = TraceSimulator(Mode.LVA)
@@ -262,7 +473,8 @@ class TestPathSelection:
         assert reason is not None and "architectural state" in reason[0]
 
     def test_static_downgrade_is_silent_unless_forced(self, monkeypatch):
-        sim = TraceSimulator(Mode.PREFETCH)
+        sim = TraceSimulator(Mode.LVA)
+        sim.l1 = SetAssociativeCache(policy=FIFOPolicy(), name="L1D")
         monkeypatch.delenv(kernels.ENV_KERNEL, raising=False)
         with warnings.catch_warnings():
             warnings.simplefilter("error", kernels.ReplayDowngradeWarning)
@@ -270,6 +482,42 @@ class TestPathSelection:
         monkeypatch.setenv(kernels.ENV_KERNEL, "vector")
         with pytest.warns(kernels.ReplayDowngradeWarning):
             assert kernels.select_path(sim) == "packed"
+
+    def test_remaining_ineligibility_reasons(self, traces, monkeypatch):
+        """The shrunken reason set: only faults, telemetry, exotic
+        replacement and pre-existing state downgrade the vector kernel —
+        every phase-1 technique configuration is eligible fresh."""
+        kernels.reset_downgrade_warnings()
+        monkeypatch.setenv(INJECT_ENV, "flip:prob=0.05,seed=3")
+        fault_reason = kernels.vector_ineligibility(TraceSimulator(Mode.LVA))
+        monkeypatch.delenv(INJECT_ENV)
+        monkeypatch.setenv(telemetry.TELEMETRY_ENV, "1")
+        telemetry.shutdown()
+        try:
+            tel_reason = kernels.vector_ineligibility(TraceSimulator(Mode.LVA))
+        finally:
+            monkeypatch.delenv(telemetry.TELEMETRY_ENV)
+            telemetry.shutdown()
+        fifo = TraceSimulator(Mode.LVA)
+        fifo.l1 = SetAssociativeCache(policy=FIFOPolicy(), name="L1D")
+        fifo_reason = kernels.vector_ineligibility(fifo)
+        dirty = TraceSimulator(Mode.LVA)
+        dirty.replay(traces["swaptions"].pack())
+        dirty_reason = kernels.vector_ineligibility(dirty)
+        assert {
+            fault_reason[0],
+            tel_reason[0],
+            fifo_reason[0],
+            dirty_reason[0],
+        } == {
+            "fault injection active (REPRO_INJECT)",
+            "telemetry sampling active",
+            "non-LRU L1 replacement policy",
+            "simulator already holds architectural state",
+        }
+        # Dynamic flags: run-dependent reasons warn even unforced.
+        assert fault_reason[1] is True and tel_reason[1] is True
+        assert fifo_reason[1] is False and dirty_reason[1] is False
 
 
 class TestDowngradeUnderFaults:
